@@ -1,0 +1,252 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (Section 5) plus Bechamel microbenchmarks for the
+   design choices DESIGN.md calls out.
+
+   Usage:
+     dune exec bench/main.exe              # everything (the EXPERIMENTS.md run)
+     dune exec bench/main.exe -- fig5      # one artefact
+     dune exec bench/main.exe -- fast      # reduced-scale smoke run
+     dune exec bench/main.exe -- micro     # microbenchmarks only
+   Artefacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10a
+   fig10b fig10c app_effort survey isd_evolution micro *)
+
+let time_section name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s took %.1f s]\n\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+(* --- Table 1 ------------------------------------------------------------ *)
+
+let table1 () =
+  Printf.printf "== Table 1: SCIERA PoPs and collaborating networks ==\n";
+  Scion_util.Table.print ~header:[ "Location"; "Peering NRENs"; "Partner Networks" ]
+    ~rows:(List.map (fun (a, b, c) -> [ a; b; c ]) Sciera.Topology.pops);
+  Printf.printf "%d ASes in the modelled deployment, %d Layer-2 links\n\n"
+    (List.length Sciera.Topology.ases)
+    (List.length Sciera.Topology.links)
+
+(* --- Connectivity study (Figures 5-7) — shared dataset ------------------ *)
+
+let connectivity_result : Sciera.Exp_connectivity.result option ref = ref None
+
+let connectivity ~days () =
+  match !connectivity_result with
+  | Some r -> r
+  | None ->
+      let r =
+        time_section "connectivity study (multiping campaign)" (fun () ->
+            Sciera.Exp_connectivity.run ~days ())
+      in
+      connectivity_result := Some r;
+      r
+
+(* --- Multipath study (Figures 8-10b) — shared dataset ------------------- *)
+
+let multipath_result : Sciera.Exp_multipath.result option ref = ref None
+
+let multipath () =
+  match !multipath_result with
+  | Some r -> r
+  | None ->
+      let r =
+        time_section "multipath study (epoch sweep)" (fun () -> Sciera.Exp_multipath.run ())
+      in
+      multipath_result := Some r;
+      r
+
+(* --- Microbenchmarks ----------------------------------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let fwkey = Scion_dataplane.Fwkey.of_master_secret "bench" in
+  let cmac = Scion_dataplane.Fwkey.cmac_key fwkey in
+  let ts = 1_700_000_000l in
+  let proto_hop =
+    { Scion_dataplane.Path.exp_time = 255; cons_ingress = 3; cons_egress = 7; mac = String.make 6 '\x00' }
+  in
+  let hop =
+    { proto_hop with
+      Scion_dataplane.Path.mac = Scion_dataplane.Path.compute_mac cmac ~seg_id:7 ~timestamp:ts proto_hop
+    }
+  in
+  let ia = Scion_addr.Ia.of_string in
+  let router =
+    Scion_dataplane.Router.create ~ia:(ia "71-10") ~key:fwkey
+      ~ifaces:[ { Scion_dataplane.Router.ifid = 7; remote_ia = ia "71-11"; remote_ifid = 1 } ]
+  in
+  let mk_packet () =
+    let beta1 = Scion_dataplane.Path.chain_seg_id ~seg_id:7 ~mac:hop.Scion_dataplane.Path.mac in
+    let last_proto =
+      { Scion_dataplane.Path.exp_time = 255; cons_ingress = 1; cons_egress = 0; mac = String.make 6 '\x00' }
+    in
+    let last =
+      { last_proto with
+        Scion_dataplane.Path.mac =
+          Scion_dataplane.Path.compute_mac cmac ~seg_id:beta1 ~timestamp:ts last_proto
+      }
+    in
+    let seg =
+      ( { Scion_dataplane.Path.cons_dir = true; peer = false; seg_id = 7; timestamp = ts },
+        [ hop; last ] )
+    in
+    Scion_dataplane.Packet.make ~proto:Scion_dataplane.Packet.Udp
+      ~src:(ia "71-10", Scion_dataplane.Packet.Ipv4 (Scion_addr.Ipv4.of_string "10.0.0.1"))
+      ~dst:(ia "71-11", Scion_dataplane.Packet.Ipv4 (Scion_addr.Ipv4.of_string "10.0.0.2"))
+      ~path:(Scion_dataplane.Packet.Standard (Scion_dataplane.Path.create [ seg ]))
+      (String.make 1000 'x')
+  in
+  let sample_packet = mk_packet () in
+  let encoded = Scion_dataplane.Packet.encode sample_packet in
+  let priv, pub = Scion_crypto.Schnorr.derive ~seed:"bench" in
+  let signature = Scion_crypto.Schnorr.sign priv "msg" in
+  let dispatcher = Scion_endhost.Dispatcher.create () in
+  (match Scion_endhost.Dispatcher.register dispatcher ~port:40001 ~app:"bench" with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let direct = Scion_endhost.Dispatcher.Direct.open_socket ~port:40001 in
+  let payload = String.make 1000 'p' in
+  let tests =
+    [
+      Test.make ~name:"hop-field MAC (AES-CMAC)"
+        (Staged.stage (fun () ->
+             ignore (Scion_dataplane.Path.compute_mac cmac ~seg_id:7 ~timestamp:ts hop)));
+      Test.make ~name:"border-router forward (verify+advance)"
+        (Staged.stage (fun () ->
+             ignore
+               (Scion_dataplane.Router.process router ~now:(Int32.to_float ts) ~ingress:0
+                  (mk_packet ()))));
+      Test.make ~name:"packet encode"
+        (Staged.stage (fun () -> ignore (Scion_dataplane.Packet.encode sample_packet)));
+      Test.make ~name:"packet decode"
+        (Staged.stage (fun () -> ignore (Scion_dataplane.Packet.decode encoded)));
+      Test.make ~name:"schnorr sign (PCB entry)"
+        (Staged.stage (fun () -> ignore (Scion_crypto.Schnorr.sign priv "msg")));
+      Test.make ~name:"schnorr verify (PCB entry)"
+        (Staged.stage (fun () -> ignore (Scion_crypto.Schnorr.verify pub ~msg:"msg" ~signature)));
+      Test.make ~name:"dispatcher demux (shared port)"
+        (Staged.stage (fun () ->
+             ignore (Scion_endhost.Dispatcher.dispatch dispatcher ~dst_port:40001 ~payload)));
+      Test.make ~name:"dispatcherless delivery"
+        (Staged.stage (fun () ->
+             ignore (Scion_endhost.Dispatcher.Direct.deliver direct ~payload)));
+      Test.make ~name:"sha256 (1 KiB)"
+        (Staged.stage (fun () -> ignore (Scion_crypto.Sha256.digest payload)));
+      Test.make ~name:"lightningfilter check"
+        (let filter =
+           Sciera.Science_dmz.Filter.create ~local_secret:"s"
+             ~allowed:[ (ia "71-88", 1e9) ]
+             ()
+         in
+         let key = Sciera.Science_dmz.Filter.host_key filter ~peer:(ia "71-88") in
+         let tag = Sciera.Science_dmz.Filter.authenticate ~key ~payload in
+         Staged.stage (fun () ->
+             ignore
+               (Sciera.Science_dmz.Filter.check filter ~now:0.0 ~src:(ia "71-88") ~payload ~tag)));
+    ]
+  in
+  Printf.printf "== Microbenchmarks (Bechamel) ==\n%!";
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some (ns :: _) ->
+              Printf.printf "  %-42s %10.0f ns/op  (%9.1f Kops/s)\n%!" name ns (1e6 /. ns)
+          | Some [] | None -> Printf.printf "  %-42s (no estimate)\n%!" name)
+        results)
+    tests;
+  (* The Section 4.8 ablation: dispatcher vs dispatcherless throughput under
+     the RSS scaling model. *)
+  Printf.printf "\n== Ablation: dispatcher vs dispatcherless (Section 4.8) ==\n";
+  Scion_util.Table.print ~header:[ "cores"; "dispatcher pps"; "dispatcherless pps"; "speedup" ]
+    ~rows:
+      (List.map
+         (fun cores ->
+           let d =
+             Scion_endhost.Dispatcher.model_throughput ~mode:`Dispatcher ~cores
+               ~per_packet_us:1.2 ~dispatcher_overhead_us:2.1
+           in
+           let dl =
+             Scion_endhost.Dispatcher.model_throughput ~mode:`Dispatcherless ~cores
+               ~per_packet_us:1.2 ~dispatcher_overhead_us:2.1
+           in
+           [
+             string_of_int cores;
+             Printf.sprintf "%.0f" d;
+             Printf.sprintf "%.0f" dl;
+             Printf.sprintf "%.1fx" (dl /. d);
+           ])
+         [ 1; 4; 8; 16 ]);
+  (* The beacon-store k ablation: control-plane state vs path diversity. *)
+  Printf.printf "\n== Ablation: beacon-store size vs path diversity ==\n%!";
+  Scion_util.Table.print ~header:[ "per_origin"; "UVa->UFMS paths"; "convergence (s)" ]
+    ~rows:
+      (List.map
+         (fun k ->
+           let t0 = Unix.gettimeofday () in
+           let net = Sciera.Network.create ~per_origin:k ~verify_pcbs:false () in
+           let dt = Unix.gettimeofday () -. t0 in
+           let n =
+             List.length
+               (Sciera.Network.paths net
+                  ~src:(Scion_addr.Ia.of_string "71-225")
+                  ~dst:(Scion_addr.Ia.of_string "71-2:0:5c"))
+           in
+           [ string_of_int k; string_of_int n; Printf.sprintf "%.1f" dt ])
+         [ 4; 8; 16; 24 ]);
+  print_newline ()
+
+(* --- Driver -------------------------------------------------------------- *)
+
+let run_artifact ~days = function
+  | "table1" -> table1 ()
+  | "table2" -> Sciera.Exp_bootstrap.print_table2 ()
+  | "fig3" -> Sciera.Deployment.print_fig3 ()
+  | "fig4" ->
+      let r = time_section "bootstrap experiment" (fun () -> Sciera.Exp_bootstrap.run ()) in
+      Sciera.Exp_bootstrap.print_fig4 r
+  | "fig5" -> Sciera.Exp_connectivity.print_fig5 (connectivity ~days ())
+  | "fig6" -> Sciera.Exp_connectivity.print_fig6 (connectivity ~days ())
+  | "fig7" -> Sciera.Exp_connectivity.print_fig7 (connectivity ~days ())
+  | "fig8" -> Sciera.Exp_multipath.print_fig8 (multipath ())
+  | "fig9" -> Sciera.Exp_multipath.print_fig9 (multipath ())
+  | "fig10a" -> Sciera.Exp_multipath.print_fig10a (multipath ())
+  | "fig10b" -> Sciera.Exp_multipath.print_fig10b (multipath ())
+  | "fig10c" ->
+      let r = time_section "resilience simulation" (fun () -> Sciera.Exp_resilience.run ()) in
+      Sciera.Exp_resilience.print_fig10c r
+  | "app_effort" -> Sciera.App_effort.print_app_effort ()
+  | "isd_evolution" ->
+      let r = time_section "ISD evolution study" (fun () -> Sciera.Exp_isd_evolution.run ()) in
+      Sciera.Exp_isd_evolution.print_report r
+  | "survey" -> Sciera.Survey.print_survey ()
+  | "micro" -> micro ()
+  | other ->
+      Printf.eprintf "unknown artefact %S\n" other;
+      exit 1
+
+let all_artifacts =
+  [
+    "table1"; "fig3"; "fig4"; "table2"; "app_effort"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
+    "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution"; "micro";
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      Printf.printf "SCIERA reproduction — full evaluation run (Section 5)\n\n%!";
+      List.iter (run_artifact ~days:Sciera.Incidents.window_days) all_artifacts
+  | [ "fast" ] ->
+      Printf.printf "SCIERA reproduction — fast run (4 simulated days)\n\n%!";
+      List.iter (run_artifact ~days:4.0) all_artifacts
+  | artifacts -> List.iter (run_artifact ~days:Sciera.Incidents.window_days) artifacts

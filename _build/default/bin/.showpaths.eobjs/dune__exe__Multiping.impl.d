@@ -1,0 +1,1 @@
+bin/multiping.ml: Arg Array Cmd Cmdliner List Printf Sciera Scion_util Term

@@ -1,0 +1,1 @@
+bin/orchestrator.ml: Arg Cmd Cmdliner List Printf Sciera Scion_addr Scion_controlplane Scion_cppki Scion_dataplane Scion_util Term

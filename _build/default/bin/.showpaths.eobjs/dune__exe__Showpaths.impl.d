@@ -1,0 +1,1 @@
+bin/showpaths.ml: Arg Cmd Cmdliner List Printf Sciera Scion_addr Scion_controlplane String Term

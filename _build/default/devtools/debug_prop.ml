@@ -1,0 +1,91 @@
+open Scion_controlplane
+module Ia = Scion_addr.Ia
+let now = 1_700_000_000.0
+let spec ?(core=false) ?(ca=false) spec_ia = { Mesh.spec_ia; core; ca; profile = Scion_cppki.Cert.Open_source; note = "t" }
+let link ?(cls=Mesh.Parent_child) l_a l_b = { Mesh.l_a; l_b; cls }
+let trace p = String.concat " " (List.map (fun h -> Printf.sprintf "%s[%d,%d]" (Ia.to_string h.Scion_addr.Hop_pred.ia) h.Scion_addr.Hop_pred.ingress h.Scion_addr.Hop_pred.egress) p.Combinator.interfaces)
+
+let run_case (n_cores1, n_cores2, n_leaves1, n_leaves2, seed) verbose =
+  let rng = Scion_util.Rng.create (Int64.of_int (seed + 77)) in
+  let mk_ias isd n_cores n_leaves =
+    ( List.init n_cores (fun i -> Ia.make isd (100 + i)),
+      List.init n_leaves (fun i -> Ia.make isd (200 + i)) ) in
+  let cores1, leaves1 = mk_ias 1 n_cores1 n_leaves1 in
+  let cores2, leaves2 = mk_ias 2 n_cores2 n_leaves2 in
+  let all_cores = cores1 @ cores2 in
+  let specs =
+    List.map (fun i -> spec ~core:true ~ca:true i) [ List.hd cores1; List.hd cores2 ]
+    @ List.map (fun i -> spec ~core:true i) (List.filter (fun c -> not (Ia.equal c (List.hd cores1)) && not (Ia.equal c (List.hd cores2))) all_cores)
+    @ List.map (fun i -> spec i) (leaves1 @ leaves2) in
+  let core_links =
+    let rec pairs = function a :: (b :: _ as rest) -> link ~cls:Mesh.Core_link a b :: pairs rest | _ -> [] in
+    let chain = pairs all_cores in
+    let extras = List.filter_map (fun _ ->
+      let a = Scion_util.Rng.pick rng (Array.of_list all_cores) in
+      let b = Scion_util.Rng.pick rng (Array.of_list all_cores) in
+      if Ia.equal a b then None else Some (link ~cls:Mesh.Core_link a b)) (List.init 3 Fun.id) in
+    chain @ extras in
+  let leaf_links isd_cores leaves =
+    let rec go acc parents = function
+      | [] -> acc
+      | leaf :: rest ->
+          let candidates = Array.of_list parents in
+          let p1 = Scion_util.Rng.pick rng candidates in
+          let acc = link p1 leaf :: acc in
+          let acc = if Scion_util.Rng.bool rng then begin
+              let p2 = Scion_util.Rng.pick rng candidates in
+              if Ia.equal p1 p2 then acc else link p2 leaf :: acc end else acc in
+          go acc (leaf :: parents) rest in
+    go [] isd_cores leaves in
+  let links = core_links @ leaf_links cores1 leaves1 @ leaf_links cores2 leaves2
+    @ (match leaves1 with l1 :: l2 :: _ when Scion_util.Rng.bool rng -> [ link ~cls:Mesh.Peering l1 l2 ] | _ -> []) in
+  let config = { Mesh.default_config with Mesh.verify_pcbs = false; per_origin = 6 } in
+  let m = Mesh.create ~config ~now ~ases:specs ~links () in
+  Mesh.run_beaconing m ~now;
+  let everyone = Array.of_list (all_cores @ leaves1 @ leaves2) in
+  let ok = ref true in
+  for _ = 1 to 8 do
+    let src = Scion_util.Rng.pick rng everyone in
+    let dst = Scion_util.Rng.pick rng everyone in
+    if not (Ia.equal src dst) then
+      List.iter (fun fp ->
+        (match Mesh.walk m ~now fp with
+         | Mesh.Walk_delivered { dst = at; _ } when Ia.equal at dst -> ()
+         | Mesh.Walk_delivered { dst = at; _ } ->
+             ok := false;
+             if verbose then Printf.printf "MISDELIVERED %s->%s at %s: %s\n" (Ia.to_string src) (Ia.to_string dst) (Ia.to_string at) (trace fp)
+         | Mesh.Walk_dropped { at; reason } ->
+             ok := false;
+             if verbose then Printf.printf "DROP %s->%s at %s (%s): %s\n" (Ia.to_string src) (Ia.to_string dst) (Ia.to_string at) (Scion_dataplane.Router.drop_reason_to_string reason) (trace fp));
+        (match Mesh.walk m ~now ~payload:"ping" fp with
+         | Mesh.Walk_delivered { packet; _ } -> (
+             let reply = Scion_dataplane.Packet.reply_skeleton packet ~payload:"pong" in
+             match Mesh.walk_packet m ~now ~from:dst reply with
+             | Mesh.Walk_delivered { dst = back; _ } when Ia.equal back src -> ()
+             | Mesh.Walk_delivered { dst = back; _ } ->
+                 ok := false; if verbose then Printf.printf "REPLY MISDELIVERED %s->%s back at %s: %s\n" (Ia.to_string src) (Ia.to_string dst) (Ia.to_string back) (trace fp)
+             | Mesh.Walk_dropped { at; reason } ->
+                 ok := false;
+                 if verbose then Printf.printf "REPLY DROP %s->%s at %s (%s): %s\n" (Ia.to_string src) (Ia.to_string dst) (Ia.to_string at) (Scion_dataplane.Router.drop_reason_to_string reason) (trace fp))
+         | Mesh.Walk_dropped _ -> ()))
+        (Mesh.paths m ~src ~dst)
+  done;
+  !ok
+
+let () =
+  for c1 = 1 to 3 do
+    for c2 = 1 to 2 do
+      for l1 = 1 to 5 do
+        for l2 = 0 to 3 do
+          for seed = 0 to 30 do
+            if not (run_case (c1, c2, l1, l2, seed) false) then begin
+              Printf.printf "FAILING CASE: cores1=%d cores2=%d leaves1=%d leaves2=%d seed=%d\n" c1 c2 l1 l2 seed;
+              ignore (run_case (c1, c2, l1, l2, seed) true);
+              exit 1
+            end
+          done
+        done
+      done
+    done
+  done;
+  print_endline "all cases pass"

@@ -1,0 +1,1 @@
+examples/failover_gaming.ml: List Printf Sciera Scion_addr Scion_controlplane Scion_endhost String

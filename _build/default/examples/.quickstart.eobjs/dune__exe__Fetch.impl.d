@@ -1,0 +1,1 @@
+examples/fetch.ml: Arg List Printf Sciera Scion_addr Scion_controlplane Scion_endhost String

@@ -1,0 +1,1 @@
+examples/netcat.ml: Arg List Printf Sciera Scion_addr Scion_endhost

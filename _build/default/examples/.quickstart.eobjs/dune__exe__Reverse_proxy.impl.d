@@ -1,0 +1,1 @@
+examples/reverse_proxy.ml: List Printf Sciera Scion_addr Scion_endhost String

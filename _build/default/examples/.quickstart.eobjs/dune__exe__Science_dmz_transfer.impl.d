@@ -1,0 +1,1 @@
+examples/science_dmz_transfer.ml: List Printf Sciera Scion_addr

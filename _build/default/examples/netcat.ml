@@ -1,0 +1,48 @@
+(* netcat — the paper's Java-netcat case study (Section 5.2, Appendix G):
+   a datagram send/receive utility where SCION support is a drop-in socket
+   replacement. The four changed lines versus a plain-UDP variant are
+   marked. Everything else (argument handling, the send/receive loop) is
+   unchanged application code.
+
+   Run with:
+     dune exec examples/netcat.exe -- 71-2:0:4d 4747        # send to Korea University
+     dune exec examples/netcat.exe -- --from 71-225 71-2:0:5c 4747 *)
+
+let () =
+  let from = ref "71-2:0:42" in
+  let rest = ref [] in
+  Arg.parse
+    [ ("--from", Arg.Set_string from, "source AS (default OVGU)") ]
+    (fun a -> rest := a :: !rest)
+    "netcat [--from IA] DEST_IA PORT";
+  let dst_str, port =
+    match List.rev !rest with
+    | [ d; p ] -> (d, int_of_string p)
+    | _ ->
+        prerr_endline "usage: netcat [--from IA] DEST_IA PORT";
+        exit 1
+  in
+  let network = Sciera.Network.create ~verify_pcbs:false () in
+  (* SCION enablement, line 1 of 4: attach the SCION stack instead of
+     opening an AF_INET socket. *)
+  let host =
+    match Sciera.Host.attach network ~ia:(Scion_addr.Ia.of_string !from) () with
+    | Ok h -> h
+    | Error e -> failwith e
+  in
+  (* line 2 of 4: the destination is an ISD-AS instead of an IP. *)
+  let dst = Scion_addr.Ia.of_string dst_str in
+  (* line 3 of 4: dial returns a path-aware connection. *)
+  let conn = match Sciera.Host.dial host ~dst () with Ok c -> c | Error e -> failwith e in
+  Printf.printf "connected to %s:%d over SCION (%d candidate paths)\n" dst_str port
+    (Scion_endhost.Pan.Conn.candidates conn);
+  (* The unchanged application loop: read lines, send datagrams. *)
+  let lines = [ "hello"; "over"; "scion" ] in
+  List.iter
+    (fun line ->
+      (* line 4 of 4: send over the SCION connection. *)
+      match Scion_endhost.Pan.Conn.send conn ~payload:line with
+      | Scion_endhost.Pan.Conn.Sent { rtt_ms } ->
+          Printf.printf "> %s (acked in %.1f ms)\n" line rtt_ms
+      | Scion_endhost.Pan.Conn.Send_failed -> Printf.printf "> %s (send failed)\n" line)
+    lines

@@ -1,0 +1,57 @@
+(* Quickstart: join SCIERA as an end host and talk to the other side of the
+   world. Mirrors the paper's onboarding story (Section 4.1): bootstrapping
+   is automatic, the daemon resolves paths, and the application only deals
+   with a socket-like API.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline "building the SCIERA network (Figure 1 topology, full control plane)...";
+  let network = Sciera.Network.create ~verify_pcbs:true () in
+  (* Join at OVGU Magdeburg, like a student machine on the campus network. *)
+  let ovgu = Scion_addr.Ia.of_string "71-2:0:42" in
+  let host =
+    match Sciera.Host.attach network ~ia:ovgu () with
+    | Ok h -> h
+    | Error e -> failwith e
+  in
+  let timing = Sciera.Host.bootstrap_timing host in
+  Printf.printf "bootstrapped at %s via %s in %.1f ms (hint %.1f + config %.1f) — mode: %s\n"
+    (Sciera.Topology.name_of ovgu)
+    (Scion_endhost.Hints.name timing.Scion_endhost.Bootstrap.mechanism)
+    timing.Scion_endhost.Bootstrap.total_ms timing.Scion_endhost.Bootstrap.hint_ms
+    timing.Scion_endhost.Bootstrap.config_ms
+    (Scion_endhost.Pan.mode_to_string (Sciera.Host.mode host));
+  (* Where can we go? Path lookup to Korea University via the daemon. *)
+  let korea = Scion_addr.Ia.of_string "71-2:0:4d" in
+  let paths = Sciera.Host.paths host ~dst:korea in
+  Printf.printf "\n%d paths to %s; the three best by latency:\n" (List.length paths)
+    (Sciera.Topology.name_of korea);
+  let by_latency =
+    List.sort
+      (fun a b ->
+        compare (Sciera.Host.latency_estimate host a) (Sciera.Host.latency_estimate host b))
+      paths
+  in
+  List.iteri
+    (fun i p ->
+      if i < 3 then
+        Printf.printf "  %.1f ms est: %s\n"
+          (Sciera.Host.latency_estimate host p)
+          (String.concat " -> "
+             (List.map
+                (fun h -> Sciera.Topology.name_of h.Scion_addr.Hop_pred.ia)
+                p.Scion_controlplane.Combinator.interfaces)))
+    by_latency;
+  (* Ping: SCMP echo through the actual border routers. *)
+  (match Sciera.Host.ping host ~dst:korea with
+  | `Rtt ms -> Printf.printf "\nping %s: %.1f ms\n" (Sciera.Topology.name_of korea) ms
+  | `Unreachable -> print_endline "unreachable");
+  (* A request/response exchange, like a tiny RPC. *)
+  match
+    Sciera.Host.request host ~dst:korea ~payload:"hello from Magdeburg"
+      ~handler:(fun req -> "annyeong! got: " ^ req)
+      ()
+  with
+  | Ok (`Reply (answer, rtt)) -> Printf.printf "reply in %.1f ms: %s\n" rtt answer
+  | Error e -> print_endline ("request failed: " ^ e)

@@ -1,0 +1,1 @@
+lib/addr/hop_pred.ml: Fun Ia List Printf String

@@ -1,0 +1,1 @@
+lib/addr/ia.ml: Format Hashtbl Map Printf Scion_util Set Stdlib String

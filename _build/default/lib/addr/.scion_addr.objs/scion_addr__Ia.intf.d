@@ -1,0 +1,1 @@
+lib/addr/ia.mli: Format Map Scion_util Set

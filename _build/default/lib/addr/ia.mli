@@ -1,0 +1,52 @@
+(** SCION addressing: isolation domains (ISD), AS numbers, and their
+    combination (IA).
+
+    AS numbers follow the SCION convention: values below 2^32 print as plain
+    decimal (BGP-compatible range, e.g. ["559"]), larger values print as
+    three colon-separated 16-bit hex groups (e.g. ["2:0:3b"]). An IA prints
+    as ["<isd>-<as>"], e.g. ["71-2:0:3b"] or ["64-559"]. *)
+
+type isd = int
+(** 16-bit isolation-domain identifier. 0 is the wildcard. *)
+
+type asn
+(** 48-bit AS number. *)
+
+type t = { isd : isd; asn : asn }
+(** An ISD-AS pair. *)
+
+val asn_of_int : int -> asn
+(** Raises [Invalid_argument] outside \[0, 2^48). *)
+
+val asn_to_int : asn -> int
+val asn_of_string : string -> asn
+(** Parses both decimal ("559") and hex-group ("2:0:3b") forms. Raises
+    [Invalid_argument] on malformed input. *)
+
+val asn_to_string : asn -> string
+
+val make : int -> int -> t
+(** [make isd asn_int] builds an IA from raw integers. *)
+
+val of_string : string -> t
+(** Parses ["71-2:0:3b"]. Raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val wildcard : t
+(** ["0-0"], matching any IA in predicates. *)
+
+val is_wildcard : t -> bool
+
+val encode : Scion_util.Rw.Writer.t -> t -> unit
+(** 8-byte wire form: 16-bit ISD then 48-bit AS, big-endian. *)
+
+val decode : Scion_util.Rw.Reader.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

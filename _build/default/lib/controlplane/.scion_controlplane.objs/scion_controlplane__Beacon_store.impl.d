@@ -1,0 +1,1 @@
+lib/controlplane/beacon_store.ml: List Pcb Scion_addr

@@ -1,0 +1,1 @@
+lib/controlplane/beacon_store.mli: Pcb Scion_addr

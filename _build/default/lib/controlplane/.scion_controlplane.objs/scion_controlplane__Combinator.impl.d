@@ -1,0 +1,1 @@
+lib/controlplane/combinator.ml: Array Float Hashtbl List Pcb Scion_addr Scion_crypto Scion_dataplane Scion_util Set Stdlib

@@ -1,0 +1,1 @@
+lib/controlplane/combinator.mli: Pcb Scion_addr Scion_dataplane

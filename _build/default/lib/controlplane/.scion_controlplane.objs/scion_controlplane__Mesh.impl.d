@@ -1,0 +1,1 @@
+lib/controlplane/mesh.ml: Array Beacon_store Combinator Hashtbl Int64 List Option Pcb Printf Scion_addr Scion_cppki Scion_crypto Scion_dataplane Scion_util Sigcache Stdlib

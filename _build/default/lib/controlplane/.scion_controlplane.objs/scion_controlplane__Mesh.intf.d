@@ -1,0 +1,1 @@
+lib/controlplane/mesh.mli: Combinator Pcb Scion_addr Scion_cppki Scion_dataplane

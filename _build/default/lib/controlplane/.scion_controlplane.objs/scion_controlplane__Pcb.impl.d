@@ -1,0 +1,1 @@
+lib/controlplane/pcb.ml: Float Format Int32 List Printf Scion_addr Scion_cppki Scion_crypto Scion_dataplane Scion_util Sigcache String

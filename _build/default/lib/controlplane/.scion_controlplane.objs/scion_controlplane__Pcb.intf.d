@@ -1,0 +1,1 @@
+lib/controlplane/pcb.mli: Format Scion_addr Scion_cppki Scion_crypto Scion_dataplane Scion_util Sigcache

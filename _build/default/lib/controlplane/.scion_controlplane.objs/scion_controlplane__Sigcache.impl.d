@@ -1,0 +1,1 @@
+lib/controlplane/sigcache.ml: Hashtbl Scion_crypto

@@ -1,0 +1,1 @@
+lib/controlplane/sigcache.mli: Scion_crypto

@@ -1,0 +1,74 @@
+module IaMap = Scion_addr.Ia.Map
+
+type entry = { pcb : Pcb.t; fingerprint : string }
+type t = { mutable buckets : entry list IaMap.t; per_origin : int }
+
+let create ?(per_origin = 8) () = { buckets = IaMap.empty; per_origin }
+let per_origin t = t.per_origin
+
+type outcome = Added | Replaced | Rejected_full | Rejected_duplicate
+
+(* Shorter beacons first; ties broken by fingerprint for determinism. *)
+let better a b =
+  let la = Pcb.num_entries a.pcb and lb = Pcb.num_entries b.pcb in
+  if la <> lb then la < lb else a.fingerprint < b.fingerprint
+
+let sort_bucket = List.sort (fun a b -> if better a b then -1 else 1)
+
+let insert t pcb =
+  let fingerprint = Pcb.interface_fingerprint pcb in
+  let origin = Pcb.origin pcb in
+  let bucket = match IaMap.find_opt origin t.buckets with Some b -> b | None -> [] in
+  match List.find_opt (fun e -> e.fingerprint = fingerprint) bucket with
+  | Some existing ->
+      if pcb.Pcb.timestamp > existing.pcb.Pcb.timestamp then begin
+        let bucket =
+          { pcb; fingerprint } :: List.filter (fun e -> e.fingerprint <> fingerprint) bucket
+        in
+        t.buckets <- IaMap.add origin (sort_bucket bucket) t.buckets;
+        Replaced
+      end
+      else Rejected_duplicate
+  | None ->
+      let candidate = { pcb; fingerprint } in
+      if List.length bucket < t.per_origin then begin
+        t.buckets <- IaMap.add origin (sort_bucket (candidate :: bucket)) t.buckets;
+        Added
+      end
+      else begin
+        (* Bucket full: evict the worst if the candidate beats it. *)
+        match List.rev (sort_bucket bucket) with
+        | worst :: _ when better candidate worst ->
+            let bucket =
+              candidate :: List.filter (fun e -> e.fingerprint <> worst.fingerprint) bucket
+            in
+            t.buckets <- IaMap.add origin (sort_bucket bucket) t.buckets;
+            Replaced
+        | _ -> Rejected_full
+      end
+
+let best t ~k =
+  IaMap.fold (fun _ bucket acc ->
+      let rec take n = function
+        | [] -> []
+        | e :: rest -> if n = 0 then [] else e.pcb :: take (n - 1) rest
+      in
+      take k (sort_bucket bucket) @ acc)
+    t.buckets []
+
+let all t = IaMap.fold (fun _ bucket acc -> List.map (fun e -> e.pcb) bucket @ acc) t.buckets []
+let count t = IaMap.fold (fun _ bucket acc -> acc + List.length bucket) t.buckets 0
+let origins t = IaMap.fold (fun origin _ acc -> origin :: acc) t.buckets []
+
+let remove_expired t ~now =
+  let removed = ref 0 in
+  t.buckets <-
+    IaMap.filter_map
+      (fun _ bucket ->
+        let keep, drop = List.partition (fun e -> Pcb.expiry e.pcb > now) bucket in
+        removed := !removed + List.length drop;
+        if keep = [] then None else Some keep)
+      t.buckets;
+  !removed
+
+let clear t = t.buckets <- IaMap.empty

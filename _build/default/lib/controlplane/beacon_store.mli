@@ -1,0 +1,33 @@
+(** Beacon store with a per-origin selection policy.
+
+    Each AS keeps the best [k] candidate beacons per origin core AS,
+    preferring shorter AS-level paths and, among equals, stable interface
+    fingerprints. The store deduplicates by interface fingerprint, so
+    re-propagation rounds converge instead of growing. The [k] knob trades
+    control-plane state for path diversity — an ablation the benchmarks
+    exercise. *)
+
+type t
+
+val create : ?per_origin:int -> unit -> t
+(** Default [per_origin] is 8. *)
+
+val per_origin : t -> int
+
+type outcome = Added | Replaced | Rejected_full | Rejected_duplicate
+
+val insert : t -> Pcb.t -> outcome
+(** Insert a candidate (must be non-empty). Duplicates (same interface
+    fingerprint) refresh in place when newer. When the origin's bucket is
+    full, the worst candidate is evicted if the new one is better. *)
+
+val best : t -> k:int -> Pcb.t list
+(** Up to [k] best beacons per origin, for propagation. *)
+
+val all : t -> Pcb.t list
+val count : t -> int
+val origins : t -> Scion_addr.Ia.t list
+val remove_expired : t -> now:float -> int
+(** Drop beacons whose segment expiry has passed; returns how many. *)
+
+val clear : t -> unit

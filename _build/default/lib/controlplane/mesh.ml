@@ -1,0 +1,562 @@
+module Ia = Scion_addr.Ia
+module Cert = Scion_cppki.Cert
+module Trc = Scion_cppki.Trc
+module Ca = Scion_cppki.Ca
+module Schnorr = Scion_crypto.Schnorr
+module Fwkey = Scion_dataplane.Fwkey
+module Router = Scion_dataplane.Router
+
+type link_class = Core_link | Parent_child | Peering
+
+type as_spec = {
+  spec_ia : Ia.t;
+  core : bool;
+  ca : bool;
+  profile : Cert.profile;
+  note : string;
+}
+
+type link_spec = { l_a : Ia.t; l_b : Ia.t; cls : link_class }
+
+type config = {
+  seed : int64;
+  per_origin : int;
+  propagate_k : int;
+  rounds : int;
+  exp_time : int;
+  verify_pcbs : bool;
+  cert_validity : float;
+}
+
+let default_config =
+  {
+    seed = 0xC1EA_5EEDL;
+    per_origin = 8;
+    propagate_k = 4;
+    rounds = 8;
+    exp_time = 255;
+    verify_pcbs = true;
+    cert_validity = 3.0 *. 24.0 *. 3600.0;
+  }
+
+type role = Parent | Child | Core_nbr | Peer
+
+type neighbor = {
+  n_ifid : int;
+  n_ia : Ia.t;
+  n_remote_ifid : int;
+  n_cls : link_class;
+  n_role : role;
+  n_link : int;
+}
+
+type node = {
+  nd_ia : Ia.t;
+  nd_core : bool;
+  nd_profile : Cert.profile;
+  nd_note : string;
+  fwkey : Fwkey.t;
+  signer : Schnorr.private_key;
+  pubkey : Schnorr.public_key;
+  mutable cert : Cert.t;
+  mutable nbrs : neighbor list;
+  store_intra : Beacon_store.t;
+  store_core : Beacon_store.t;
+  mutable ups : Pcb.t list;
+  mutable cores_terminated : Pcb.t list;
+}
+
+type link_id = int
+
+type link = { spec : link_spec; a_if : int; b_if : int; mutable l_up : bool }
+
+type t = {
+  cfg : config;
+  rng : Scion_util.Rng.t;
+  nodes : (Ia.t, node) Hashtbl.t;
+  order : Ia.t list;  (** Sorted IA list for deterministic iteration. *)
+  link_arr : link array;
+  trcs : (int, Trc.t) Hashtbl.t;
+  cas : (int, Ca.t) Hashtbl.t;
+  down_registry : (Ia.t, Pcb.t list) Hashtbl.t;
+  sent_log : (string, unit) Hashtbl.t;
+  cache : Sigcache.t;
+  routers : (Ia.t, Router.t) Hashtbl.t;
+  mutable verif_failures : int;
+}
+
+let config t = t.cfg
+let ases t = t.order
+
+let node t ia =
+  match Hashtbl.find_opt t.nodes ia with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Mesh: unknown AS %s" (Ia.to_string ia))
+
+let is_core t ia = (node t ia).nd_core
+let trc t isd = match Hashtbl.find_opt t.trcs isd with Some x -> x | None -> raise Not_found
+let cert_of t ia = (node t ia).cert
+let fwkey_of t ia = (node t ia).fwkey
+
+let router_ifaces t ia =
+  List.map
+    (fun n -> { Router.ifid = n.n_ifid; remote_ia = n.n_ia; remote_ifid = n.n_remote_ifid })
+    (node t ia).nbrs
+
+let neighbors t ia = List.map (fun n -> (n.n_ifid, n.n_ia, n.n_cls)) (node t ia).nbrs
+
+let links t = Array.to_list (Array.mapi (fun i l -> (i, l.spec)) t.link_arr)
+
+let link_interfaces t id =
+  let l = t.link_arr.(id) in
+  (l.a_if, l.b_if)
+
+let find_links t a b =
+  let matches l =
+    (Ia.equal l.spec.l_a a && Ia.equal l.spec.l_b b)
+    || (Ia.equal l.spec.l_a b && Ia.equal l.spec.l_b a)
+  in
+  Array.to_list t.link_arr
+  |> List.mapi (fun i l -> (i, l))
+  |> List.filter_map (fun (i, l) -> if matches l then Some i else None)
+
+let router t ia =
+  match Hashtbl.find_opt t.routers ia with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Mesh.router: unknown AS %s" (Ia.to_string ia))
+
+let set_link_state t id ~up =
+  let l = t.link_arr.(id) in
+  l.l_up <- up;
+  Router.set_interface_state (router t l.spec.l_a) l.a_if ~up;
+  Router.set_interface_state (router t l.spec.l_b) l.b_if ~up
+
+let link_up t id = t.link_arr.(id).l_up
+let verification_failures t = t.verif_failures
+
+(* --- Construction --- *)
+
+let create ?(config = default_config) ~now ~ases ~links () =
+  let rng = Scion_util.Rng.create config.seed in
+  let nodes = Hashtbl.create 64 in
+  let seed_str = Int64.to_string config.seed in
+  (* Per-ISD PKI. *)
+  let isds =
+    List.sort_uniq Stdlib.compare (List.map (fun s -> s.spec_ia.Ia.isd) ases)
+  in
+  let trcs = Hashtbl.create 4 in
+  let cas = Hashtbl.create 4 in
+  let ten_years = 10.0 *. 365.0 *. 24.0 *. 3600.0 in
+  List.iter
+    (fun isd ->
+      let in_isd = List.filter (fun s -> s.spec_ia.Ia.isd = isd) ases in
+      let cores = List.filter (fun s -> s.core) in_isd in
+      if cores = [] then invalid_arg (Printf.sprintf "Mesh.create: ISD %d has no core AS" isd);
+      let ca_spec =
+        match List.find_opt (fun s -> s.ca) in_isd with Some s -> s | None -> List.hd cores
+      in
+      let root_name = Printf.sprintf "root-%d" isd in
+      let root_priv, root_pub =
+        Schnorr.derive ~seed:(Printf.sprintf "%s/root/%d" seed_str isd)
+      in
+      let trc =
+        Trc.sign_base ~isd
+          ~validity:(now -. 1.0, now +. ten_years)
+          ~core_ases:(List.map (fun s -> s.spec_ia) cores)
+          ~ca_ases:[ ca_spec.spec_ia ] ~quorum:1
+          ~roots:[ (root_name, root_priv, root_pub) ]
+      in
+      Hashtbl.replace trcs isd trc;
+      let ca_priv, ca_pub =
+        Schnorr.derive ~seed:(Printf.sprintf "%s/ca/%d" seed_str isd)
+      in
+      let ca_cert =
+        Cert.sign ~kind:Cert.Ca ~profile:ca_spec.profile ~serial:1 ~subject:ca_spec.spec_ia
+          ~pubkey:ca_pub
+          ~validity:(now -. 1.0, now +. (ten_years /. 2.0))
+          ~issuer:ca_spec.spec_ia ~issuer_key_name:root_name ~issuer_priv:root_priv
+      in
+      Hashtbl.replace cas isd
+        (Ca.create ~ia:ca_spec.spec_ia ~priv:ca_priv ~cert:ca_cert
+           ~default_validity:config.cert_validity ()))
+    isds;
+  (* AS nodes with certificates. *)
+  List.iter
+    (fun spec ->
+      if Hashtbl.mem nodes spec.spec_ia then
+        invalid_arg (Printf.sprintf "Mesh.create: duplicate AS %s" (Ia.to_string spec.spec_ia));
+      let signer, pubkey =
+        Schnorr.derive ~seed:(Printf.sprintf "%s/as/%s" seed_str (Ia.to_string spec.spec_ia))
+      in
+      let ca = Hashtbl.find cas spec.spec_ia.Ia.isd in
+      let cert = Ca.issue ca ~subject:spec.spec_ia ~pubkey ~profile:spec.profile ~now in
+      Hashtbl.replace nodes spec.spec_ia
+        {
+          nd_ia = spec.spec_ia;
+          nd_core = spec.core;
+          nd_profile = spec.profile;
+          nd_note = spec.note;
+          fwkey = Fwkey.of_seed ~ia:spec.spec_ia ~seed:seed_str;
+          signer;
+          pubkey;
+          cert;
+          nbrs = [];
+          store_intra = Beacon_store.create ~per_origin:config.per_origin ();
+          store_core = Beacon_store.create ~per_origin:config.per_origin ();
+          ups = [];
+          cores_terminated = [];
+        })
+    ases;
+  (* Links with automatic interface-id assignment. *)
+  let next_ifid = Hashtbl.create 64 in
+  let alloc ia =
+    let v = match Hashtbl.find_opt next_ifid ia with Some v -> v | None -> 1 in
+    Hashtbl.replace next_ifid ia (v + 1);
+    v
+  in
+  let get ia =
+    match Hashtbl.find_opt nodes ia with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "Mesh.create: link endpoint %s unknown" (Ia.to_string ia))
+  in
+  let link_arr =
+    Array.of_list
+      (List.mapi
+         (fun idx spec ->
+           let na = get spec.l_a and nb = get spec.l_b in
+           let a_if = alloc spec.l_a and b_if = alloc spec.l_b in
+           let role_a, role_b =
+             match spec.cls with
+             | Core_link -> (Core_nbr, Core_nbr)
+             | Parent_child -> (Child, Parent)
+             | Peering -> (Peer, Peer)
+           in
+           na.nbrs <-
+             na.nbrs
+             @ [
+                 {
+                   n_ifid = a_if;
+                   n_ia = spec.l_b;
+                   n_remote_ifid = b_if;
+                   n_cls = spec.cls;
+                   n_role = role_a;
+                   n_link = idx;
+                 };
+               ];
+           nb.nbrs <-
+             nb.nbrs
+             @ [
+                 {
+                   n_ifid = b_if;
+                   n_ia = spec.l_a;
+                   n_remote_ifid = a_if;
+                   n_cls = spec.cls;
+                   n_role = role_b;
+                   n_link = idx;
+                 };
+               ];
+           { spec; a_if; b_if; l_up = true })
+         links)
+  in
+  let order = List.sort Ia.compare (List.map (fun s -> s.spec_ia) ases) in
+  let routers = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun ia (n : node) ->
+      let ifaces =
+        List.map
+          (fun nb -> { Router.ifid = nb.n_ifid; remote_ia = nb.n_ia; remote_ifid = nb.n_remote_ifid })
+          n.nbrs
+      in
+      Hashtbl.replace routers ia (Router.create ~ia ~key:n.fwkey ~ifaces))
+    nodes;
+  {
+    cfg = config;
+    rng;
+    nodes;
+    order;
+    link_arr;
+    trcs;
+    cas;
+    down_registry = Hashtbl.create 64;
+    sent_log = Hashtbl.create 4096;
+    cache = Sigcache.global;
+    routers;
+    verif_failures = 0;
+  }
+
+(* --- Certificates --- *)
+
+let renew_certificates t ~now =
+  let renewed = ref 0 in
+  List.iter
+    (fun ia ->
+      let n = node t ia in
+      if Ca.needs_renewal n.cert ~now || not (Cert.in_validity n.cert now) then begin
+        let ca = Hashtbl.find t.cas ia.Ia.isd in
+        let fresh =
+          match Ca.renew ca ~current:n.cert ~pubkey:n.pubkey ~now with
+          | Ok c -> c
+          | Error _ -> Ca.issue ca ~subject:ia ~pubkey:n.pubkey ~profile:n.nd_profile ~now
+        in
+        n.cert <- fresh;
+        incr renewed
+      end)
+    t.order;
+  !renewed
+
+(* --- Beaconing --- *)
+
+let cert_lookup t ia =
+  match Hashtbl.find_opt t.nodes ia with
+  | None -> None
+  | Some n -> (
+      match Hashtbl.find_opt t.cas ia.Ia.isd with
+      | None -> None
+      | Some ca -> (
+          match Hashtbl.find_opt t.trcs ia.Ia.isd with
+          | None -> None
+          | Some trc -> Some (n.cert, Ca.ca_cert ca, trc)))
+
+let cert_material = cert_lookup
+
+(* The interface over which a stored PCB arrived: the sender's entry names
+   its egress interface; map it back through the declared links. *)
+let arrival_ifid _t (n : node) (pcb : Pcb.t) =
+  match List.rev pcb.Pcb.entries with
+  | [] -> None
+  | last :: _ ->
+      List.find_opt
+        (fun nb ->
+          Ia.equal nb.n_ia last.Pcb.ia
+          && nb.n_remote_ifid = last.Pcb.hop.Scion_dataplane.Path.cons_egress)
+        n.nbrs
+      |> Option.map (fun nb -> nb.n_ifid)
+
+let peer_links_of (n : node) t =
+  List.filter_map
+    (fun nb ->
+      if nb.n_cls = Peering && t.link_arr.(nb.n_link).l_up then
+        Some (nb.n_ia, nb.n_ifid, nb.n_remote_ifid)
+      else None)
+    n.nbrs
+
+let receive t (receiver : node) ~(expected_role : role) pcb ~now store =
+  match Pcb.structural_check pcb ~receiver:receiver.nd_ia with
+  | Error _ -> ()
+  | Ok () -> (
+      (* The PCB must arrive over a declared, up link from the sender, and
+         the sender must have the expected topological role. *)
+      match List.rev pcb.Pcb.entries with
+      | [] -> ()
+      | last :: _ -> (
+          let nbr =
+            List.find_opt
+              (fun nb ->
+                Ia.equal nb.n_ia last.Pcb.ia
+                && nb.n_remote_ifid = last.Pcb.hop.Scion_dataplane.Path.cons_egress
+                && nb.n_role = expected_role
+                && t.link_arr.(nb.n_link).l_up)
+              receiver.nbrs
+          in
+          match nbr with
+          | None -> ()
+          | Some _ ->
+              let ok =
+                if t.cfg.verify_pcbs then begin
+                  match Pcb.verify pcb ~cache:t.cache ~lookup:(cert_lookup t) ~now with
+                  | Ok () -> true
+                  | Error _ ->
+                      t.verif_failures <- t.verif_failures + 1;
+                      false
+                end
+                else true
+              in
+              if ok then ignore (Beacon_store.insert store pcb)))
+
+let send_once t ~sender ~egress ~kind pcb =
+  (* Dedup log so each (pcb, link) pair is extended and delivered once; the
+     egress interface id distinguishes parallel links to the same AS. *)
+  let key =
+    kind ^ Ia.to_string sender ^ "#" ^ string_of_int egress ^ Pcb.interface_fingerprint pcb
+  in
+  if Hashtbl.mem t.sent_log key then None
+  else begin
+    Hashtbl.replace t.sent_log key ();
+    Some ()
+  end
+
+let run_beaconing t ~now =
+  ignore (renew_certificates t ~now);
+  Hashtbl.reset t.down_registry;
+  Hashtbl.reset t.sent_log;
+  List.iter
+    (fun ia ->
+      let n = node t ia in
+      Beacon_store.clear n.store_intra;
+      Beacon_store.clear n.store_core;
+      n.ups <- [];
+      n.cores_terminated <- [])
+    t.order;
+  let extend_from (n : node) pcb ~ingress ~egress =
+    Pcb.extend pcb ~ia:n.nd_ia ~fwkey:n.fwkey ~signer:n.signer ~ingress ~egress
+      ~peers:(peer_links_of n t) ~note:n.nd_note ~exp_time:t.cfg.exp_time ()
+  in
+  (* Origination. *)
+  List.iter
+    (fun ia ->
+      let n = node t ia in
+      if n.nd_core then
+        List.iter
+          (fun nb ->
+            if t.link_arr.(nb.n_link).l_up then begin
+              match nb.n_role with
+              | Core_nbr ->
+                  let pcb = Pcb.originate ~rng:t.rng ~now in
+                  let pcb = extend_from n pcb ~ingress:0 ~egress:nb.n_ifid in
+                  receive t (node t nb.n_ia) ~expected_role:Core_nbr pcb ~now
+                    (node t nb.n_ia).store_core
+              | Child ->
+                  let pcb = Pcb.originate ~rng:t.rng ~now in
+                  let pcb = extend_from n pcb ~ingress:0 ~egress:nb.n_ifid in
+                  receive t (node t nb.n_ia) ~expected_role:Parent pcb ~now
+                    (node t nb.n_ia).store_intra
+              | Parent | Peer -> ()
+            end)
+          n.nbrs)
+    t.order;
+  (* Propagation rounds. *)
+  for _round = 1 to t.cfg.rounds do
+    List.iter
+      (fun ia ->
+        let n = node t ia in
+        (* Intra-ISD beacons flow to children. *)
+        let intra = Beacon_store.best n.store_intra ~k:t.cfg.propagate_k in
+        List.iter
+          (fun nb ->
+            if nb.n_role = Child && t.link_arr.(nb.n_link).l_up then
+              List.iter
+                (fun pcb ->
+                  if not (Pcb.contains pcb nb.n_ia) then begin
+                    match send_once t ~sender:n.nd_ia ~egress:nb.n_ifid ~kind:"i" pcb with
+                    | None -> ()
+                    | Some () -> (
+                        match arrival_ifid t n pcb with
+                        | None -> ()
+                        | Some ingress ->
+                            let ext = extend_from n pcb ~ingress ~egress:nb.n_ifid in
+                            receive t (node t nb.n_ia) ~expected_role:Parent ext ~now
+                              (node t nb.n_ia).store_intra)
+                  end)
+                intra)
+          n.nbrs;
+        (* Core beacons flow across core links. *)
+        if n.nd_core then begin
+          let core = Beacon_store.best n.store_core ~k:t.cfg.propagate_k in
+          List.iter
+            (fun nb ->
+              if nb.n_role = Core_nbr && t.link_arr.(nb.n_link).l_up then
+                List.iter
+                  (fun pcb ->
+                    if not (Pcb.contains pcb nb.n_ia) then begin
+                      match send_once t ~sender:n.nd_ia ~egress:nb.n_ifid ~kind:"c" pcb with
+                      | None -> ()
+                      | Some () -> (
+                          match arrival_ifid t n pcb with
+                          | None -> ()
+                          | Some ingress ->
+                              let ext = extend_from n pcb ~ingress ~egress:nb.n_ifid in
+                              receive t (node t nb.n_ia) ~expected_role:Core_nbr ext ~now
+                                (node t nb.n_ia).store_core)
+                    end)
+                  core)
+            n.nbrs
+        end)
+      t.order
+  done;
+  (* Termination and registration. *)
+  List.iter
+    (fun ia ->
+      let n = node t ia in
+      if not n.nd_core then
+        List.iter
+          (fun pcb ->
+            match arrival_ifid t n pcb with
+            | None -> ()
+            | Some ingress ->
+                let term = extend_from n pcb ~ingress ~egress:0 in
+                n.ups <- term :: n.ups;
+                let existing =
+                  match Hashtbl.find_opt t.down_registry n.nd_ia with Some l -> l | None -> []
+                in
+                Hashtbl.replace t.down_registry n.nd_ia (term :: existing))
+          (Beacon_store.all n.store_intra);
+      if n.nd_core then
+        List.iter
+          (fun pcb ->
+            match arrival_ifid t n pcb with
+            | None -> ()
+            | Some ingress ->
+                let term = extend_from n pcb ~ingress ~egress:0 in
+                n.cores_terminated <- term :: n.cores_terminated)
+          (Beacon_store.all n.store_core))
+    t.order
+
+let up_segments t ia = (node t ia).ups
+let core_segments_at t ia = (node t ia).cores_terminated
+
+let down_segments t ia =
+  match Hashtbl.find_opt t.down_registry ia with Some l -> l | None -> []
+
+type walk_result =
+  | Walk_delivered of { dst : Ia.t; hops : int; packet : Scion_dataplane.Packet.t }
+  | Walk_dropped of { at : Ia.t; reason : Router.drop_reason }
+
+let walk_packet t ~now ~from ?(max_steps = 64) pkt =
+  let rec step at ingress pkt hops =
+    if hops > max_steps then
+      Walk_dropped { at; reason = Router.Path_malformed "forwarding loop suspected" }
+    else begin
+      match Router.process (router t at) ~now ~ingress pkt with
+      | Router.Deliver p -> Walk_delivered { dst = at; hops; packet = p }
+      | Router.Drop reason -> Walk_dropped { at; reason }
+      | Router.Forward { egress; packet } -> (
+          let n = node t at in
+          match List.find_opt (fun nb -> nb.n_ifid = egress) n.nbrs with
+          | None -> Walk_dropped { at; reason = Router.Unknown_interface egress }
+          | Some nb ->
+              if not t.link_arr.(nb.n_link).l_up then
+                Walk_dropped { at; reason = Router.Interface_down egress }
+              else step nb.n_ia nb.n_remote_ifid packet (hops + 1))
+    end
+  in
+  step from 0 pkt 0
+
+let walk t ~now ?(payload = "") ?(proto = Scion_dataplane.Packet.Udp) (fp : Combinator.fullpath) =
+  let module Packet = Scion_dataplane.Packet in
+  let pkt =
+    Packet.make ~proto
+      ~src:(fp.Combinator.src, Packet.Ipv4 (Scion_addr.Ipv4.of_string "10.0.0.1"))
+      ~dst:(fp.Combinator.dst, Packet.Ipv4 (Scion_addr.Ipv4.of_string "10.0.0.2"))
+      ~path:(Packet.Standard (Combinator.fresh_raw fp))
+      payload
+  in
+  walk_packet t ~now ~from:fp.Combinator.src ~max_steps:(3 * Combinator.num_hops fp) pkt
+
+let path_alive t ~now fp =
+  match walk t ~now fp with
+  | Walk_delivered { dst; _ } -> Ia.equal dst fp.Combinator.dst
+  | Walk_dropped _ -> false
+
+let paths t ~src ~dst =
+  if Ia.equal src dst then []
+  else begin
+    let src_core = is_core t src and dst_core = is_core t dst in
+    let ups = if src_core then [] else up_segments t src in
+    let downs = if dst_core then [] else down_segments t dst in
+    let core_sources =
+      if src_core then [ src ]
+      else List.sort_uniq Ia.compare (List.map Pcb.origin ups)
+    in
+    let cores = List.concat_map (fun c -> core_segments_at t c) core_sources in
+    Combinator.build ~ups ~cores ~downs ~src ~dst ~src_core ~dst_core
+  end

@@ -1,0 +1,135 @@
+(** A mesh of SCION ASes with a full control plane: per-ISD PKI (TRC + CA +
+    AS certificates), link management, hierarchical beaconing (core beacons
+    across core links, intra-ISD beacons down parent-child links), segment
+    registration into the path-server infrastructure, and path lookup
+    through the {!Combinator}.
+
+    The mesh is the control-plane substrate over which the SCIERA topology
+    is instantiated; the packet-level data plane (latency, loss, failure)
+    lives in [netsim] and is wired up by the [sciera] library. *)
+
+module Ia = Scion_addr.Ia
+
+type link_class = Core_link | Parent_child | Peering
+
+type as_spec = {
+  spec_ia : Ia.t;
+  core : bool;
+  ca : bool;  (** Operates the ISD CA (at most one per ISD is used). *)
+  profile : Scion_cppki.Cert.profile;
+  note : string;  (** Software-stack label, e.g. "open-source", "anapaya". *)
+}
+
+type link_spec = {
+  l_a : Ia.t;  (** For [Parent_child], the parent. *)
+  l_b : Ia.t;
+  cls : link_class;
+}
+
+type config = {
+  seed : int64;
+  per_origin : int;  (** Beacon-store bucket size. *)
+  propagate_k : int;  (** Beacons forwarded per origin per round. *)
+  rounds : int;  (** Propagation rounds per beaconing run. *)
+  exp_time : int;  (** Hop-field expiry encoding (255 = ~24 h). *)
+  verify_pcbs : bool;  (** Cryptographically verify PCBs on receipt. *)
+  cert_validity : float;  (** AS certificate lifetime in seconds. *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> now:float -> ases:as_spec list -> links:link_spec list -> unit -> t
+(** Build the mesh and its PKI. Raises [Invalid_argument] on inconsistent
+    specs (unknown link endpoints, missing core/CA in an ISD, duplicate
+    ASes). *)
+
+val config : t -> config
+val ases : t -> Ia.t list
+val is_core : t -> Ia.t -> bool
+val trc : t -> int -> Scion_cppki.Trc.t
+(** Raises [Not_found] for an unknown ISD. *)
+
+val cert_of : t -> Ia.t -> Scion_cppki.Cert.t
+
+(** [cert_material t ia] is the (AS certificate, CA certificate, TRC)
+    triple for PCB verification — the lookup a control service performs
+    before trusting a beacon entry. *)
+val cert_material :
+  t -> Ia.t -> (Scion_cppki.Cert.t * Scion_cppki.Cert.t * Scion_cppki.Trc.t) option
+val fwkey_of : t -> Ia.t -> Scion_dataplane.Fwkey.t
+val router_ifaces : t -> Ia.t -> Scion_dataplane.Router.iface list
+(** Interface table for building this AS's border router. *)
+
+val neighbors : t -> Ia.t -> (int * Ia.t * link_class) list
+(** (local interface id, neighbor, class) triples. *)
+
+type link_id = int
+
+val links : t -> (link_id * link_spec) list
+
+val link_interfaces : t -> link_id -> int * int
+(** The interface ids assigned to the two endpoints ([l_a]'s, [l_b]'s). *)
+
+val find_links : t -> Ia.t -> Ia.t -> link_id list
+(** All links between two ASes (either orientation). *)
+
+val set_link_state : t -> link_id -> up:bool -> unit
+val link_up : t -> link_id -> bool
+
+val run_beaconing : t -> now:float -> unit
+(** Clear all beacon state, originate at core ASes, propagate for
+    [config.rounds] rounds over the currently-up links, then terminate and
+    register segments (up segments locally, down segments in the global
+    registry, core segments at core ASes). *)
+
+val up_segments : t -> Ia.t -> Pcb.t list
+val down_segments : t -> Ia.t -> Pcb.t list
+val core_segments_at : t -> Ia.t -> Pcb.t list
+
+val paths : t -> src:Ia.t -> dst:Ia.t -> Combinator.fullpath list
+(** All known end-to-end paths (control-plane view; liveness is the data
+    plane's problem). Returns [[]] when [src = dst]. *)
+
+val router : t -> Ia.t -> Scion_dataplane.Router.t
+(** The AS's border router (one logical router per AS; multi-PoP ASes are
+    modelled as distinct ASes, as KREONET does in the paper's Multi-AS
+    model). Interface up/down state tracks {!set_link_state}. *)
+
+type walk_result =
+  | Walk_delivered of { dst : Ia.t; hops : int; packet : Scion_dataplane.Packet.t }
+  | Walk_dropped of { at : Ia.t; reason : Scion_dataplane.Router.drop_reason }
+
+val walk :
+  t ->
+  now:float ->
+  ?payload:string ->
+  ?proto:Scion_dataplane.Packet.proto ->
+  Combinator.fullpath ->
+  walk_result
+(** Push a packet hop by hop through the border routers along [fullpath] —
+    the data-plane ground truth used for liveness probing ("active" paths
+    in Figure 8) and for the integration tests. *)
+
+val path_alive : t -> now:float -> Combinator.fullpath -> bool
+(** [walk] delivered to the path's destination AS. *)
+
+val walk_packet :
+  t ->
+  now:float ->
+  from:Ia.t ->
+  ?max_steps:int ->
+  Scion_dataplane.Packet.t ->
+  walk_result
+(** Lower-level walk for an already-built packet (e.g. a reply skeleton
+    travelling the reversed path). *)
+
+val renew_certificates : t -> now:float -> int
+(** Run the automated-renewal sweep (Section 4.5): every AS whose
+    certificate is past the renewal threshold asks its ISD CA for a new
+    one. Returns the number of renewals performed. *)
+
+val verification_failures : t -> int
+(** PCBs rejected because signature verification failed (tamper or expired
+    certificate), for observability. *)

@@ -1,0 +1,31 @@
+type t = {
+  table : (string, bool) Hashtbl.t;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create () = { table = Hashtbl.create 1024; hit_count = 0; miss_count = 0 }
+let global = create ()
+
+let verify t pub ~msg ~signature =
+  let key =
+    Scion_crypto.Sha256.digest
+      (Scion_crypto.Schnorr.public_to_string pub ^ signature ^ Scion_crypto.Sha256.digest msg)
+  in
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+      t.hit_count <- t.hit_count + 1;
+      v
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      let v = Scion_crypto.Schnorr.verify pub ~msg ~signature in
+      Hashtbl.replace t.table key v;
+      v
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hit_count <- 0;
+  t.miss_count <- 0

@@ -1,0 +1,20 @@
+(** Memoisation of signature verification.
+
+    Beacon propagation re-verifies the same (message, signature, key)
+    triples many times: every PCB received by an AS contains the signatures
+    of all upstream ASes, and the same PCB prefix flows down every branch of
+    the ISD. Verification results are immutable facts, so a global cache is
+    sound and turns the beaconing cost from quadratic to linear in practice. *)
+
+type t
+
+val create : unit -> t
+val global : t
+(** A process-wide cache used by default. *)
+
+val verify :
+  t -> Scion_crypto.Schnorr.public_key -> msg:string -> signature:string -> bool
+
+val hits : t -> int
+val misses : t -> int
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Float Hashtbl List Printf Scion_util

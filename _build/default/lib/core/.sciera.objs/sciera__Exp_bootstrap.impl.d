@@ -1,0 +1,1 @@
+lib/core/exp_bootstrap.ml: Array Float List Printf Scion_addr Scion_cppki Scion_crypto Scion_endhost Scion_util

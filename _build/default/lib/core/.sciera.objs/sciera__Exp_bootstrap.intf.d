@@ -1,0 +1,1 @@
+lib/core/exp_bootstrap.mli: Scion_endhost Scion_util

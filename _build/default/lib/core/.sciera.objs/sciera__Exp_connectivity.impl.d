@@ -1,0 +1,1 @@
+lib/core/exp_connectivity.ml: Array Float Hashtbl Incidents List Multiping Network Printf Scion_addr Scion_util String Topology

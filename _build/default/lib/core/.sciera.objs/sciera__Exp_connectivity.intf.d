@@ -1,0 +1,1 @@
+lib/core/exp_connectivity.mli: Multiping Scion_addr

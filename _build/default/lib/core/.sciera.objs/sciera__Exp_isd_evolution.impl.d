@@ -1,0 +1,1 @@
+lib/core/exp_isd_evolution.ml: List Network Printf Scion_addr Scion_controlplane Scion_util Topology

@@ -1,0 +1,1 @@
+lib/core/exp_isd_evolution.mli: Scion_addr

@@ -1,0 +1,1 @@
+lib/core/exp_multipath.ml: Array Incidents List Network Printf Scion_addr Scion_controlplane Scion_util Topology

@@ -1,0 +1,1 @@
+lib/core/exp_multipath.mli: Scion_addr Scion_util

@@ -1,0 +1,1 @@
+lib/core/exp_resilience.ml: Array Fun Hashtbl List Netsim Printf Scion_addr Scion_util Topology

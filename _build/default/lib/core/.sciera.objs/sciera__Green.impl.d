@@ -1,0 +1,1 @@
+lib/core/green.ml: List Scion_addr Scion_controlplane Topology

@@ -1,0 +1,1 @@
+lib/core/green.mli: Scion_controlplane Topology

@@ -1,0 +1,1 @@
+lib/core/host.ml: Network Printf Scion_addr Scion_controlplane Scion_cppki Scion_crypto Scion_dataplane Scion_endhost Scion_util Topology

@@ -1,0 +1,1 @@
+lib/core/host.mli: Network Scion_addr Scion_controlplane Scion_endhost

@@ -1,0 +1,1 @@
+lib/core/incidents.ml: List Scion_addr

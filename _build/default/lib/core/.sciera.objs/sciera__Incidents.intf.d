@@ -1,0 +1,1 @@
+lib/core/incidents.mli: Scion_addr

@@ -1,0 +1,1 @@
+lib/core/multiping.ml: Float Hashtbl Incidents List Network Option Scion_addr Scion_controlplane Scion_util Set Stdlib Topology

@@ -1,0 +1,1 @@
+lib/core/multiping.mli: Network Scion_addr Scion_controlplane

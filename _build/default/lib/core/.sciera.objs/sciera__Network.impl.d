@@ -1,0 +1,1 @@
+lib/core/network.ml: Float Hashtbl Incidents List Netsim Printf Scion_addr Scion_controlplane Scion_cppki Scion_util Topology

@@ -1,0 +1,1 @@
+lib/core/network.mli: Netsim Scion_addr Scion_controlplane Scion_util

@@ -1,0 +1,1 @@
+lib/core/science_dmz.ml: Float Hashtbl List Scion_addr Scion_crypto

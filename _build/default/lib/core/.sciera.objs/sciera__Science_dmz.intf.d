@@ -1,0 +1,1 @@
+lib/core/science_dmz.mli: Scion_addr

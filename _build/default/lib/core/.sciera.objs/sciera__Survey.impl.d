@@ -1,0 +1,1 @@
+lib/core/survey.ml: List Printf Scion_util

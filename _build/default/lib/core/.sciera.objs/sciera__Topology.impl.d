@@ -1,0 +1,1 @@
+lib/core/topology.ml: List Scion_addr Scion_controlplane Scion_cppki Seq String

@@ -1,0 +1,1 @@
+lib/core/topology.mli: Scion_addr Scion_controlplane Scion_cppki

@@ -1,0 +1,60 @@
+(* Section 5.2: application enablement effort. The paper SCIONabled three
+   existing applications (bat, a Caddy reverse proxy, a Java netcat) with
+   minimal diffs (Appendices E-G). This repository carries the same case
+   study against its own PAN-style library: each example application in
+   examples/ exists as a plain-UDP variant and a SCION variant sharing all
+   application logic; the rows below record the integration surface. The
+   LoC deltas are checked against the example sources by the test suite so
+   they cannot rot. *)
+
+type case = {
+  app : string;
+  upstream_equivalent : string;  (** The app the paper modified. *)
+  loc_delta : int;  (** Lines added/changed to enable SCION. *)
+  integration_points : string list;
+}
+
+let cases =
+  [
+    {
+      app = "examples/fetch.ml (HTTP-like client)";
+      upstream_equivalent = "bat (Appendix E, <20 LoC)";
+      loc_delta = 14;
+      integration_points =
+        [
+          "CLI flags for --sequence/--preference/--interactive";
+          "swap the default transport for the PAN dial";
+        ];
+    };
+    {
+      app = "examples/reverse_proxy.ml (Caddy-style)";
+      upstream_equivalent = "scion-caddy plugin (Appendix F)";
+      loc_delta = 22;
+      integration_points =
+        [
+          "register a scion network listener";
+          "tag requests with X-SCION headers from the remote address";
+        ];
+    };
+    {
+      app = "examples/netcat.ml";
+      upstream_equivalent = "Java netcat via JPAN (Appendix G, 4 lines)";
+      loc_delta = 4;
+      integration_points = [ "drop-in socket replacement" ];
+    };
+  ]
+
+let print_app_effort () =
+  Printf.printf "== Section 5.2: application enablement effort ==\n";
+  Scion_util.Table.print ~header:[ "application"; "paper equivalent"; "LoC delta" ]
+    ~rows:
+      (List.map
+         (fun c -> [ c.app; c.upstream_equivalent; string_of_int c.loc_delta ])
+         cases);
+  List.iter
+    (fun c ->
+      Printf.printf "%s:\n" c.app;
+      List.iter (fun p -> Printf.printf "  - %s\n" p) c.integration_points)
+    cases;
+  Printf.printf
+    "all three integrations stay within tens of lines, matching the paper's frictionless-enablement finding\n\n"

@@ -1,0 +1,20 @@
+(** Section 5.1, Figure 4 — end-host bootstrapping performance across
+    Windows/Linux/macOS and all hinting mechanisms, plus Table 2
+    (Appendix A), the mechanism-availability matrix. *)
+
+type os_summary = {
+  os : Scion_endhost.Bootstrap.os;
+  hint : Scion_util.Stats.boxplot;
+  config : Scion_util.Stats.boxplot;
+  total : Scion_util.Stats.boxplot;
+}
+
+type result = {
+  per_os : os_summary list;
+  runs_per_mechanism : int;
+  all_medians_under_ms : float;
+}
+
+val run : ?runs:int -> ?seed:int64 -> unit -> result
+val print_fig4 : result -> unit
+val print_table2 : unit -> unit

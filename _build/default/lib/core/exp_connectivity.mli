@@ -1,0 +1,37 @@
+(** Section 5.4 — the connectivity analysis: Figures 5, 6 and 7.
+
+    Runs the multiping campaign over the simulated 20-day window, applies
+    the paper's exclusion rule, and computes:
+    - Figure 5: the CDFs of SCION and IP ping RTTs (with median and p90);
+    - Figure 6: the CDF of per-AS-pair mean RTT ratio SCION/IP, plus the
+      identified outlier groups;
+    - Figure 7: the SCION/IP RTT ratio over time (per half-day bucket). *)
+
+type pair_ratio = {
+  pr_src : Scion_addr.Ia.t;
+  pr_dst : Scion_addr.Ia.t;
+  ratio : float;  (** mean SCION RTT / mean IP RTT over the window. *)
+}
+
+type result = {
+  dataset : Multiping.dataset;  (** After exclusion. *)
+  raw_scion_pings : int;
+  raw_ip_pings : int;
+  scion_rtts : float array;
+  ip_rtts : float array;
+  scion_median : float;
+  ip_median : float;
+  scion_p90 : float;
+  ip_p90 : float;
+  pair_ratios : pair_ratio list;
+  frac_pairs_faster_on_scion : float;  (** Paper: ~38%. *)
+  frac_pairs_inflation_le_25pct : float;  (** Paper: ~80%. *)
+  timeseries : (float * float) list;  (** (day, median pair ratio). *)
+}
+
+val run :
+  ?days:float -> ?config:Multiping.config -> ?seed:int64 -> ?verify_pcbs:bool -> unit -> result
+
+val print_fig5 : result -> unit
+val print_fig6 : result -> unit
+val print_fig7 : result -> unit

@@ -1,0 +1,31 @@
+(** Section 5.5 — multipath quality: Figures 8, 9, 10a and 10b.
+
+    Over the measurement window's control-plane epochs, for the nine ASes
+    of Figure 8:
+    - Figure 8: the highest number of {e active} paths (known to the
+      control plane and delivering on the data plane) per AS pair;
+    - Figure 9: the median deviation from that maximum over time
+      (epoch-duration-weighted);
+    - Figure 10a: the CDF of latency inflation d2/d1 between the best and
+      second-best RTT paths;
+    - Figure 10b: the CDF of pairwise path disjointness. *)
+
+type result = {
+  ases : Scion_addr.Ia.t list;  (** Figure 8 row/column order. *)
+  max_paths : int array array;  (** [src][dst]. *)
+  median_deviation : int array array;
+  inflation_cdf : Scion_util.Stats.cdf;
+  frac_inflation_close_to_1 : float;  (** d2/d1 <= 1.05; paper: ~40%. *)
+  frac_inflation_le_1_2 : float;  (** Paper: ~80%. *)
+  disjointness_cdf : Scion_util.Stats.cdf;
+  frac_fully_disjoint : float;  (** Paper: ~30%. *)
+  frac_disjointness_ge_0_7 : float;  (** Paper: ~80%. *)
+  min_paths : int;  (** Smallest max-path count across pairs; paper: >= 2. *)
+  best_pair : Scion_addr.Ia.t * Scion_addr.Ia.t * int;  (** Paper: > 100. *)
+}
+
+val run : ?seed:int64 -> ?per_origin:int -> ?verify_pcbs:bool -> unit -> result
+val print_fig8 : result -> unit
+val print_fig9 : result -> unit
+val print_fig10a : result -> unit
+val print_fig10b : result -> unit

@@ -1,0 +1,18 @@
+(** Section 5.5, Figure 10c — the link-failure simulation: connectivity
+    among AS pairs as links are removed, multipath (any surviving route)
+    versus a single-path alternative that pins the BGP-like best route of
+    the intact topology. *)
+
+type result = {
+  fractions_removed : float array;
+  multipath_connectivity : float array;
+  singlepath_connectivity : float array;
+  runs : int;
+}
+
+val run : ?runs:int -> ?seed:int64 -> unit -> result
+
+val connectivity_at : result -> float -> float * float
+(** [(multipath, singlepath)] connectivity at a removed-links fraction. *)
+
+val print_fig10c : result -> unit

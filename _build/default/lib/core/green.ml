@@ -1,0 +1,53 @@
+module Combinator = Scion_controlplane.Combinator
+
+(* Representative grid carbon intensities (gCO2-eq/kWh): hydro-heavy South
+   America low, coal-heavy Asian grids high — the gradient that makes green
+   routing a real choice on a global topology. *)
+let grid_intensity = function
+  | Topology.Europe -> 230.0
+  | Topology.North_america -> 370.0
+  | Topology.Asia -> 540.0
+  | Topology.South_america -> 130.0
+  | Topology.Africa -> 480.0
+  | Topology.Middle_east -> 560.0
+
+(* Transport energy per AS hop, kWh per GB — router + transponder energy
+   attributed to the traffic crossing the hop. *)
+let hop_energy_kwh_per_gb = 0.02
+
+let hop_carbon (h : Scion_addr.Hop_pred.hop) =
+  match Topology.find h.Scion_addr.Hop_pred.ia with
+  | info -> hop_energy_kwh_per_gb *. grid_intensity info.Topology.region
+  | exception Not_found -> hop_energy_kwh_per_gb *. 400.0
+
+let path_carbon (p : Combinator.fullpath) =
+  List.fold_left (fun acc h -> acc +. hop_carbon h) 0.0 p.Combinator.interfaces
+
+let sort_by_carbon paths =
+  List.sort
+    (fun a b ->
+      let c = compare (path_carbon a) (path_carbon b) in
+      if c <> 0 then c else compare a.Combinator.fingerprint b.Combinator.fingerprint)
+    paths
+
+let greenest paths = match sort_by_carbon paths with [] -> None | p :: _ -> Some p
+
+type tradeoff = {
+  green_carbon : float;
+  shortest_carbon : float;
+  carbon_saving : float;
+  green_extra_hops : int;
+}
+
+let tradeoff paths =
+  match (greenest paths, paths) with
+  | Some green, shortest :: _ ->
+      let gc = path_carbon green and sc = path_carbon shortest in
+      Some
+        {
+          green_carbon = gc;
+          shortest_carbon = sc;
+          carbon_saving = (if sc > 0.0 then (sc -. gc) /. sc else 0.0);
+          green_extra_hops = Combinator.num_hops green - Combinator.num_hops shortest;
+        }
+  | _ -> None

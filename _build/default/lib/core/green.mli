@@ -1,0 +1,30 @@
+(** Carbon-aware ("green") path selection — the sustainability use case of
+    Section 4.7: SCION lets users pick paths by energy/carbon metrics,
+    which the paper argues incentivises ISPs to reduce emissions.
+
+    Each AS hop is scored by the carbon intensity of its PoP's grid region;
+    a path's footprint is the sum over its hops (per-packet transport
+    energy times grid intensity). *)
+
+val grid_intensity : Topology.region -> float
+(** Grams CO2-eq per kWh for the region's electricity mix. *)
+
+val path_carbon : Scion_controlplane.Combinator.fullpath -> float
+(** Relative footprint score (gCO2-eq per GB transported). *)
+
+val greenest : Scion_controlplane.Combinator.fullpath list -> Scion_controlplane.Combinator.fullpath option
+(** The lowest-footprint path. *)
+
+val sort_by_carbon :
+  Scion_controlplane.Combinator.fullpath list -> Scion_controlplane.Combinator.fullpath list
+
+type tradeoff = {
+  green_carbon : float;
+  shortest_carbon : float;
+  carbon_saving : float;  (** Fraction saved by going green. *)
+  green_extra_hops : int;  (** Detour cost in AS hops. *)
+}
+
+val tradeoff : Scion_controlplane.Combinator.fullpath list -> tradeoff option
+(** Compare the greenest path with the hop-shortest one; [None] on an
+    empty path set. *)

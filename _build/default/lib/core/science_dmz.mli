@@ -1,0 +1,53 @@
+(** The SCION-based Science-DMZ (Section 4.7.1): LightningFilter-style
+    line-rate traffic filtering and Hercules-style multipath bulk transfer.
+
+    LightningFilter authenticates SCION traffic with per-source-AS
+    symmetric keys (DRKey-style derivation) and enforces per-AS rate
+    limits, replacing the stateful campus firewall that would otherwise
+    bottleneck a data-transfer node. Hercules schedules a bulk transfer
+    across several SCION paths at once, which is where the path
+    disjointness of Figure 10b turns into aggregated bandwidth. *)
+
+module Filter : sig
+  type t
+
+  type verdict = Accepted | Bad_mac | Rate_limited | Unknown_source
+
+  val create :
+    local_secret:string ->
+    allowed:(Scion_addr.Ia.t * float) list ->
+    unit ->
+    t
+  (** [allowed] maps each authorised peer AS to its rate limit in
+      packets/second (token bucket with a 1-second burst). *)
+
+  val host_key : t -> peer:Scion_addr.Ia.t -> string
+  (** The DRKey-style key a sender in [peer] uses to authenticate packets
+      to this DMZ (derivable on both sides without per-flow state). *)
+
+  val authenticate : key:string -> payload:string -> string
+  (** Sender side: the 16-byte tag for a payload. *)
+
+  val check :
+    t -> now:float -> src:Scion_addr.Ia.t -> payload:string -> tag:string -> verdict
+
+  val accepted : t -> int
+  val rejected : t -> int
+end
+
+module Hercules : sig
+  type path_capacity = { rtt_ms : float; bandwidth_mbps : float }
+
+  type plan = {
+    total_mbps : float;
+    completion_s : float;
+    per_path_share : float list;  (** Fraction of bytes per path. *)
+  }
+
+  val plan_transfer : size_gb : float -> paths:path_capacity list -> plan
+  (** Bandwidth-proportional striping across paths; completion includes a
+      slow-start ramp of a few RTTs on each path. Raises
+      [Invalid_argument] on an empty path list. *)
+
+  val single_path_completion : size_gb:float -> path_capacity -> float
+end

@@ -1,0 +1,1 @@
+lib/cppki/ca.ml: Cert Hashtbl Scion_addr Scion_crypto

@@ -1,0 +1,1 @@
+lib/cppki/ca.mli: Cert Scion_addr Scion_crypto

@@ -1,0 +1,1 @@
+lib/cppki/cert.ml: Float Format Int64 Scion_addr Scion_crypto Scion_util String

@@ -1,0 +1,1 @@
+lib/cppki/cert.mli: Format Scion_addr Scion_crypto

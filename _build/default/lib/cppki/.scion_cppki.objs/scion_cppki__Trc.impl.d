@@ -1,0 +1,1 @@
+lib/cppki/trc.ml: Int64 List Printf Scion_addr Scion_crypto Scion_util String

@@ -1,0 +1,1 @@
+lib/cppki/trc.mli: Scion_addr Scion_crypto

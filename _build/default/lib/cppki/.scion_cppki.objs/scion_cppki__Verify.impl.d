@@ -1,0 +1,1 @@
+lib/cppki/verify.ml: Cert List Scion_addr Scion_crypto Trc

@@ -1,0 +1,1 @@
+lib/cppki/verify.mli: Cert Trc

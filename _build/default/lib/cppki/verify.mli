@@ -1,0 +1,28 @@
+(** Certificate-chain verification: AS certificate → CA certificate → TRC
+    root key, with validity-window and authorization checks. This is what a
+    control service runs before trusting a PCB signature. *)
+
+type error =
+  | As_cert_invalid of string
+  | Ca_cert_invalid of string
+  | Trc_invalid of string
+
+val error_to_string : error -> string
+
+val chain :
+  trc:Trc.t -> ca_cert:Cert.t -> as_cert:Cert.t -> now:float -> (unit, error) result
+(** Full chain check: the TRC is within validity; the CA certificate's
+    subject is an authorized CA AS of the TRC and its signature verifies
+    under the named TRC root key; the AS certificate verifies under the CA
+    key and is within validity; issuers line up. *)
+
+val pcb_signature :
+  trc:Trc.t ->
+  ca_cert:Cert.t ->
+  as_cert:Cert.t ->
+  now:float ->
+  msg:string ->
+  signature:string ->
+  (unit, error) result
+(** [chain] plus verification of [signature] over [msg] under the AS
+    certificate's public key. *)

@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Char Format Scion_util Stdlib String

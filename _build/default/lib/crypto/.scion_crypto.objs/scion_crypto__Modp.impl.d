@@ -1,0 +1,1 @@
+lib/crypto/modp.ml: Array Bignum String

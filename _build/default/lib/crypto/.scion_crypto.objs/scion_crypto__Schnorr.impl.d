@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Array Bignum Bytes Hmac Lazy Modp Scion_util Sha256 String

@@ -1,0 +1,14 @@
+(** AES-128 block encryption (FIPS 197), encrypt-only — all SCION data-plane
+    uses (hop-field CMACs, DRKey-style derivation) need only the forward
+    permutation. Validated against the FIPS 197 appendix vectors. *)
+
+type key
+(** An expanded 128-bit key schedule. *)
+
+val expand_key : string -> key
+(** [expand_key k] expands a 16-byte key. Raises [Invalid_argument] on any
+    other length. *)
+
+val encrypt_block : key -> string -> string
+(** [encrypt_block key block] encrypts a single 16-byte block. Raises
+    [Invalid_argument] on any other length. *)

@@ -1,0 +1,55 @@
+type key = { aes : Aes128.key; k1 : string; k2 : string }
+
+let xor_strings a b = String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+(* Left shift of a 16-byte string by one bit, with conditional reduction by
+   the CMAC constant 0x87 (RFC 4493 subkey generation). *)
+let double s =
+  let out = Bytes.create 16 in
+  let carry = ref 0 in
+  for i = 15 downto 0 do
+    let v = (Char.code s.[i] lsl 1) lor !carry in
+    carry := (v lsr 8) land 1;
+    Bytes.set out i (Char.chr (v land 0xFF))
+  done;
+  if Char.code s.[0] land 0x80 <> 0 then
+    Bytes.set out 15 (Char.chr (Char.code (Bytes.get out 15) lxor 0x87));
+  Bytes.to_string out
+
+let of_string k =
+  let aes = Aes128.expand_key k in
+  let l = Aes128.encrypt_block aes (String.make 16 '\x00') in
+  let k1 = double l in
+  let k2 = double k1 in
+  { aes; k1; k2 }
+
+let mac key msg =
+  let len = String.length msg in
+  let nblocks = if len = 0 then 1 else (len + 15) / 16 in
+  let complete = len > 0 && len mod 16 = 0 in
+  let last =
+    if complete then xor_strings (String.sub msg ((nblocks - 1) * 16) 16) key.k1
+    else begin
+      let tail_len = len - ((nblocks - 1) * 16) in
+      let padded = Bytes.make 16 '\x00' in
+      Bytes.blit_string msg ((nblocks - 1) * 16) padded 0 tail_len;
+      Bytes.set padded tail_len '\x80';
+      xor_strings (Bytes.to_string padded) key.k2
+    end
+  in
+  let state = ref (String.make 16 '\x00') in
+  for i = 0 to nblocks - 2 do
+    state := Aes128.encrypt_block key.aes (xor_strings !state (String.sub msg (i * 16) 16))
+  done;
+  Aes128.encrypt_block key.aes (xor_strings !state last)
+
+let mac_truncated key msg n = String.sub (mac key msg) 0 n
+
+let verify key ~msg ~tag =
+  let full = mac key msg in
+  if String.length tag > 16 || String.length tag = 0 then false
+  else begin
+    let diff = ref 0 in
+    String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code full.[i])) tag;
+    !diff = 0
+  end

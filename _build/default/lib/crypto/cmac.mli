@@ -1,0 +1,18 @@
+(** AES-CMAC (RFC 4493). SCION hop-field MACs are computed with AES-CMAC
+    over the hop's forwarding metadata; border routers verify a truncated
+    6-byte tag at line rate. Validated against the RFC 4493 vectors. *)
+
+type key
+
+val of_string : string -> key
+(** [of_string k] prepares a CMAC key from a 16-byte AES key (subkey
+    derivation included). Raises [Invalid_argument] on other lengths. *)
+
+val mac : key -> string -> string
+(** [mac key msg] returns the full 16-byte tag. *)
+
+val mac_truncated : key -> string -> int -> string
+(** [mac_truncated key msg n] returns the first [n] bytes of the tag. *)
+
+val verify : key -> msg:string -> tag:string -> bool
+(** Constant-time check of a (possibly truncated) tag. *)

@@ -1,0 +1,50 @@
+(* p = 2^256 - c with c = 2^32 + 977, so 2^256 === c (mod p): reduction of a
+   512-bit product is two cheap "fold the high half times c" steps plus a
+   conditional subtract, instead of a generic long division. *)
+
+type felem = Bignum.t
+
+let c = Bignum.add (Bignum.shift_left Bignum.one 32) (Bignum.of_int 977)
+let p = Bignum.sub (Bignum.shift_left Bignum.one 256) c
+let zero = Bignum.zero
+let one = Bignum.one
+
+let low_256 x =
+  let l = Bignum.limbs x in
+  if Array.length l <= 16 then x else Bignum.of_limbs (Array.sub l 0 16)
+
+let rec fold x =
+  let hi = Bignum.shift_right x 256 in
+  if Bignum.is_zero hi then x else fold (Bignum.add (low_256 x) (Bignum.mul hi c))
+
+let reduce x =
+  let x = fold x in
+  let x = if Bignum.compare x p >= 0 then Bignum.sub x p else x in
+  if Bignum.compare x p >= 0 then Bignum.sub x p else x
+
+let of_bignum = reduce
+let to_bignum x = x
+let of_int v = reduce (Bignum.of_int v)
+let equal = Bignum.equal
+let add a b = reduce (Bignum.add a b)
+let sub a b = if Bignum.compare a b >= 0 then Bignum.sub a b else Bignum.sub (Bignum.add a p) b
+let mul a b = reduce (Bignum.mul a b)
+
+let pow b e =
+  let result = ref one in
+  let acc = ref b in
+  let n = Bignum.bit_length e in
+  for i = 0 to n - 1 do
+    if Bignum.bit e i then result := mul !result !acc;
+    if i < n - 1 then acc := mul !acc !acc
+  done;
+  !result
+
+let to_bytes x = Bignum.to_bytes_be ~width:32 x
+
+let of_bytes s =
+  if String.length s <> 32 then None
+  else begin
+    let v = Bignum.of_bytes_be s in
+    if Bignum.compare v p >= 0 then None else Some v
+  end

@@ -1,0 +1,32 @@
+(** Fast arithmetic modulo the fixed 256-bit prime
+    [p = 2^256 - 2^32 - 977] (the secp256k1 field prime, chosen because its
+    pseudo-Mersenne form allows multiplication-free reduction). This is the
+    group in which {!Schnorr} signatures live; signing and verification are
+    frequent (every PCB AS entry is signed and re-verified at each hop), so
+    the generic {!Bignum.modpow} would be too slow. *)
+
+type felem
+(** A field element, always fully reduced (< p). *)
+
+val p : Bignum.t
+val zero : felem
+val one : felem
+val of_bignum : Bignum.t -> felem
+(** Reduces modulo p. *)
+
+val to_bignum : felem -> Bignum.t
+val of_int : int -> felem
+val equal : felem -> felem -> bool
+val add : felem -> felem -> felem
+val sub : felem -> felem -> felem
+val mul : felem -> felem -> felem
+
+val pow : felem -> Bignum.t -> felem
+(** [pow b e] computes [b ^ e] in the field via square-and-multiply over the
+    fast reduction. *)
+
+val to_bytes : felem -> string
+(** Fixed 32-byte big-endian encoding. *)
+
+val of_bytes : string -> felem option
+(** Decodes a 32-byte string; [None] if the value is >= p. *)

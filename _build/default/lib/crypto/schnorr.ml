@@ -1,0 +1,86 @@
+type private_key = { x : Bignum.t; x_bytes : string; pub_bytes : string Lazy.t }
+type public_key = Modp.felem
+
+let g = Modp.of_int 3
+let exponent_modulus = Bignum.sub Modp.p Bignum.one
+let signature_size = 64
+
+(* Fixed-base exponentiation: g is constant, so precompute g^(2^i) once and
+   turn every g^e into ~|e|/2 multiplications with no squarings. Signing
+   happens for every PCB entry during beaconing, so this matters. *)
+let g_powers =
+  lazy
+    (let table = Array.make 257 Modp.one in
+     table.(0) <- g;
+     for i = 1 to 256 do
+       table.(i) <- Modp.mul table.(i - 1) table.(i - 1)
+     done;
+     table)
+
+let pow_g e =
+  let table = Lazy.force g_powers in
+  let acc = ref Modp.one in
+  for i = 0 to Bignum.bit_length e - 1 do
+    if Bignum.bit e i then acc := Modp.mul !acc table.(i)
+  done;
+  !acc
+
+(* Map 32 uniform bytes into [1, p-2]: reduce mod (p-3) then add 1. The bias
+   is negligible (p is within 2^-190 of 2^256). *)
+let scalar_of_bytes b =
+  let v = Bignum.modulo (Bignum.of_bytes_be b) (Bignum.sub Modp.p (Bignum.of_int 3)) in
+  Bignum.add v Bignum.one
+
+let private_of_scalar x =
+  let rec priv = { x; x_bytes = Bignum.to_bytes_be ~width:32 x; pub_bytes } 
+  and pub_bytes = lazy (Modp.to_bytes (pow_g x)) in
+  priv
+
+let public_of_private priv = pow_g priv.x
+
+let generate rng =
+  let priv = private_of_scalar (scalar_of_bytes (Bytes.to_string (Scion_util.Rng.bytes rng 32))) in
+  (priv, public_of_private priv)
+
+let derive ~seed =
+  let priv = private_of_scalar (scalar_of_bytes (Hmac.kdf ~secret:seed ~info:"schnorr-key" 32)) in
+  (priv, public_of_private priv)
+
+let challenge ~r_bytes ~pub_bytes ~msg =
+  Bignum.modulo
+    (Bignum.of_bytes_be (Sha256.digest (r_bytes ^ pub_bytes ^ msg)))
+    exponent_modulus
+
+let sign priv msg =
+  let pub_bytes = Lazy.force priv.pub_bytes in
+  let k =
+    let raw = Hmac.sha256 ~key:priv.x_bytes ("nonce" ^ msg) in
+    let k = Bignum.modulo (Bignum.of_bytes_be raw) exponent_modulus in
+    if Bignum.is_zero k then Bignum.one else k
+  in
+  let r = pow_g k in
+  let r_bytes = Modp.to_bytes r in
+  let e = challenge ~r_bytes ~pub_bytes ~msg in
+  let s = Bignum.modulo (Bignum.add k (Bignum.mul e priv.x)) exponent_modulus in
+  r_bytes ^ Bignum.to_bytes_be ~width:32 s
+
+let verify pub ~msg ~signature =
+  if String.length signature <> signature_size then false
+  else begin
+    match Modp.of_bytes (String.sub signature 0 32) with
+    | None -> false
+    | Some r ->
+        if Modp.equal r Modp.zero then false
+        else begin
+          let s = Bignum.of_bytes_be (String.sub signature 32 32) in
+          if Bignum.compare s exponent_modulus >= 0 then false
+          else begin
+            let e = challenge ~r_bytes:(Modp.to_bytes r) ~pub_bytes:(Modp.to_bytes pub) ~msg in
+            Modp.equal (pow_g s) (Modp.mul r (Modp.pow pub e))
+          end
+        end
+  end
+
+let public_to_string = Modp.to_bytes
+let public_of_string = Modp.of_bytes
+let fingerprint pub = Scion_util.Hex.short ~n:12 (Sha256.digest (Modp.to_bytes pub))

@@ -1,0 +1,39 @@
+(** Schnorr signatures over the multiplicative group of {!Modp}.
+
+    This is the asymmetric primitive behind the control-plane PKI: TRC and
+    AS-certificate signatures, and the per-AS signatures on PCB entries.
+    Nonces are derived deterministically (HMAC of key and message), so
+    signing is reproducible and never reuses a nonce.
+
+    Note on parameters: we sign in Z_p^* with exponents reduced modulo
+    [p - 1]. For a *deployment reproduction* the relevant behaviours are
+    determinism, unforgeability against accidental corruption, and correct
+    verification — all of which hold; production-grade discrete-log security
+    margins are out of scope and documented in DESIGN.md. *)
+
+type private_key
+type public_key
+
+val generate : Scion_util.Rng.t -> private_key * public_key
+(** Draw a fresh key pair from the deterministic RNG. *)
+
+val derive : seed:string -> private_key * public_key
+(** Derive a key pair from a seed string (used to give every simulated AS a
+    stable identity). *)
+
+val public_of_private : private_key -> public_key
+
+val sign : private_key -> string -> string
+(** [sign priv msg] returns a 64-byte signature. *)
+
+val verify : public_key -> msg:string -> signature:string -> bool
+
+val public_to_string : public_key -> string
+(** 32-byte encoding, suitable for embedding in certificates. *)
+
+val public_of_string : string -> public_key option
+val fingerprint : public_key -> string
+(** Short hex fingerprint for logs and subject key identifiers. *)
+
+val signature_size : int
+(** 64 bytes. *)

@@ -1,0 +1,20 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4). No third-party crypto library is
+    available in this environment, so the hash is implemented here and
+    validated against the NIST test vectors in the test suite. *)
+
+val digest_size : int
+(** 32 bytes. *)
+
+val digest : string -> string
+(** [digest msg] returns the 32-byte binary digest of [msg]. *)
+
+val hexdigest : string -> string
+(** Lower-case hex of [digest]. *)
+
+type ctx
+(** Streaming interface for incremental hashing. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+(** [finalize ctx] returns the digest; the context must not be reused. *)

@@ -1,0 +1,1 @@
+lib/dataplane/fwkey.ml: Scion_addr Scion_crypto

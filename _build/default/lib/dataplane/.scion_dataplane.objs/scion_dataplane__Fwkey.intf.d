@@ -1,0 +1,1 @@
+lib/dataplane/fwkey.mli: Scion_addr Scion_crypto

@@ -1,0 +1,1 @@
+lib/dataplane/packet.ml: Path Printf Scion_addr Scion_util String

@@ -1,0 +1,1 @@
+lib/dataplane/packet.mli: Path Scion_addr

@@ -1,0 +1,1 @@
+lib/dataplane/path.ml: Array Char Format Int32 List Printf Scion_crypto Scion_util String

@@ -1,0 +1,1 @@
+lib/dataplane/path.mli: Format Scion_crypto

@@ -1,0 +1,1 @@
+lib/dataplane/router.ml: Fwkey Hashtbl List Packet Path Printf Scion_addr Scion_crypto String

@@ -1,0 +1,1 @@
+lib/dataplane/router.mli: Fwkey Packet Scion_addr

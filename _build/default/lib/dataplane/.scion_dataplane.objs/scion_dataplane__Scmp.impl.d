@@ -1,0 +1,1 @@
+lib/dataplane/scmp.ml: Printf Scion_addr Scion_util

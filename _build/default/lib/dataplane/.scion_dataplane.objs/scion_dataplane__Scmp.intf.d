@@ -1,0 +1,1 @@
+lib/dataplane/scmp.mli: Scion_addr

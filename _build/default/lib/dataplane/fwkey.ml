@@ -1,0 +1,8 @@
+type t = { cmac : Scion_crypto.Cmac.key }
+
+let of_master_secret secret =
+  let raw = Scion_crypto.Hmac.kdf ~secret ~info:"scion-forwarding-key" 16 in
+  { cmac = Scion_crypto.Cmac.of_string raw }
+
+let of_seed ~ia ~seed = of_master_secret (Scion_addr.Ia.to_string ia ^ "|" ^ seed)
+let cmac_key t = t.cmac

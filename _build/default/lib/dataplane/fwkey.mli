@@ -1,0 +1,16 @@
+(** Per-AS data-plane forwarding keys.
+
+    Each AS holds a secret from which its hop-field MAC key is derived; the
+    border routers of the AS share this key. Derivation is deterministic so
+    a simulated AS can be rebuilt from its seed. *)
+
+type t
+(** The AS forwarding secret (with the expanded CMAC key cached). *)
+
+val of_master_secret : string -> t
+(** Derive the forwarding key from an AS master secret. *)
+
+val of_seed : ia:Scion_addr.Ia.t -> seed:string -> t
+(** Convenience derivation binding the key to the AS identity. *)
+
+val cmac_key : t -> Scion_crypto.Cmac.key

@@ -1,0 +1,156 @@
+module Rw = Scion_util.Rw
+
+type host = Ipv4 of Scion_addr.Ipv4.t | Service of int
+
+let svc_cs = 0x0002
+let svc_ds = 0x0001
+
+let host_equal a b =
+  match (a, b) with
+  | Ipv4 x, Ipv4 y -> Scion_addr.Ipv4.equal x y
+  | Service x, Service y -> x = y
+  | Ipv4 _, Service _ | Service _, Ipv4 _ -> false
+
+let host_to_string = function
+  | Ipv4 a -> Scion_addr.Ipv4.to_string a
+  | Service s when s = svc_cs -> "CS"
+  | Service s when s = svc_ds -> "DS"
+  | Service s -> Printf.sprintf "SVC:%d" s
+
+type proto = Udp | Scmp | Bfd
+
+let proto_to_int = function Udp -> 17 | Scmp -> 202 | Bfd -> 203
+
+let proto_of_int = function
+  | 17 -> Some Udp
+  | 202 -> Some Scmp
+  | 203 -> Some Bfd
+  | _ -> None
+
+type path = Empty | Standard of Path.t
+
+type t = {
+  traffic_class : int;
+  flow_id : int;
+  proto : proto;
+  dst_ia : Scion_addr.Ia.t;
+  src_ia : Scion_addr.Ia.t;
+  dst_host : host;
+  src_host : host;
+  path : path;
+  payload : string;
+}
+
+let make ?(traffic_class = 0) ?(flow_id = 0) ~proto ~src ~dst ~path payload =
+  let src_ia, src_host = src and dst_ia, dst_host = dst in
+  { traffic_class; flow_id; proto; dst_ia; src_ia; dst_host; src_host; path; payload }
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+let version = 0
+let path_type = function Empty -> 0 | Standard _ -> 1
+
+let host_type = function Ipv4 _ -> 0 | Service _ -> 1
+
+let encode_host w = function
+  | Ipv4 a -> Rw.Writer.u32 w (Scion_addr.Ipv4.to_int32 a)
+  | Service s -> Rw.Writer.u32_of_int w s
+
+let decode_host r ty =
+  match ty with
+  | 0 -> Ipv4 (Scion_addr.Ipv4.of_int32 (Rw.Reader.u32 r))
+  | 1 -> Service (Rw.Reader.u32_to_int r)
+  | _ -> malformed "unknown host address type %d" ty
+
+let encode t =
+  let w = Rw.Writer.create () in
+  (* Word 0: version(4) traffic_class(8) flow_id(20) *)
+  Rw.Writer.u32_of_int w
+    ((version lsl 28) lor ((t.traffic_class land 0xFF) lsl 20) lor (t.flow_id land 0xFFFFF));
+  let path_bytes = match t.path with Empty -> "" | Standard p -> Path.encode p in
+  (* Word 1: next_hdr(8) path_type(8) DT(4)DL(4) ST(4)SL(4) *)
+  Rw.Writer.u8 w (proto_to_int t.proto);
+  Rw.Writer.u8 w (path_type t.path);
+  Rw.Writer.u8 w ((host_type t.dst_host lsl 4) lor 4);
+  Rw.Writer.u8 w ((host_type t.src_host lsl 4) lor 4);
+  (* Word 2: payload length, path length *)
+  Rw.Writer.u16 w (String.length t.payload);
+  Rw.Writer.u16 w (String.length path_bytes);
+  Scion_addr.Ia.encode w t.dst_ia;
+  Scion_addr.Ia.encode w t.src_ia;
+  encode_host w t.dst_host;
+  encode_host w t.src_host;
+  Rw.Writer.raw w path_bytes;
+  Rw.Writer.raw w t.payload;
+  Rw.Writer.contents w
+
+let decode s =
+  let r = Rw.Reader.of_string s in
+  try
+    let word0 = Rw.Reader.u32_to_int r in
+    let ver = (word0 lsr 28) land 0xF in
+    if ver <> version then malformed "unsupported version %d" ver;
+    let traffic_class = (word0 lsr 20) land 0xFF in
+    let flow_id = word0 land 0xFFFFF in
+    let proto =
+      let v = Rw.Reader.u8 r in
+      match proto_of_int v with Some p -> p | None -> malformed "unknown protocol %d" v
+    in
+    let ptype = Rw.Reader.u8 r in
+    let dt = Rw.Reader.u8 r in
+    let st = Rw.Reader.u8 r in
+    let payload_len = Rw.Reader.u16 r in
+    let path_len = Rw.Reader.u16 r in
+    let dst_ia = Scion_addr.Ia.decode r in
+    let src_ia = Scion_addr.Ia.decode r in
+    let dst_host = decode_host r (dt lsr 4) in
+    let src_host = decode_host r (st lsr 4) in
+    let path_bytes = Rw.Reader.raw r path_len in
+    let path =
+      match ptype with
+      | 0 -> if path_len <> 0 then malformed "empty path with %d path bytes" path_len else Empty
+      | 1 -> (
+          match Path.decode path_bytes with
+          | p -> Standard p
+          | exception Path.Malformed m -> malformed "bad path: %s" m)
+      | _ -> malformed "unknown path type %d" ptype
+    in
+    let payload = Rw.Reader.raw r payload_len in
+    Rw.Reader.expect_end r;
+    { traffic_class; flow_id; proto; dst_ia; src_ia; dst_host; src_host; path; payload }
+  with Rw.Truncated -> malformed "truncated packet"
+
+let reply_skeleton t ~payload =
+  {
+    t with
+    dst_ia = t.src_ia;
+    src_ia = t.dst_ia;
+    dst_host = t.src_host;
+    src_host = t.dst_host;
+    path = (match t.path with Empty -> Empty | Standard p -> Standard (Path.reverse p));
+    payload;
+  }
+
+module Udp = struct
+  type datagram = { src_port : int; dst_port : int; data : string }
+
+  let encode d =
+    let w = Rw.Writer.create () in
+    Rw.Writer.u16 w d.src_port;
+    Rw.Writer.u16 w d.dst_port;
+    Rw.Writer.u16 w (String.length d.data);
+    Rw.Writer.raw w d.data;
+    Rw.Writer.contents w
+
+  let decode s =
+    let r = Rw.Reader.of_string s in
+    try
+      let src_port = Rw.Reader.u16 r in
+      let dst_port = Rw.Reader.u16 r in
+      let len = Rw.Reader.u16 r in
+      let data = Rw.Reader.raw r len in
+      Rw.Reader.expect_end r;
+      { src_port; dst_port; data }
+    with Rw.Truncated -> malformed "truncated UDP datagram"
+end

@@ -1,0 +1,68 @@
+(** SCION packet: common header, address header, path, payload.
+
+    The layout follows the SCION header specification (version 0 standard
+    header): a fixed common header with flow id and path type, an address
+    header carrying destination/source IA and host addresses, the path
+    (empty for intra-AS, standard otherwise), then the L4 payload. *)
+
+type host = Ipv4 of Scion_addr.Ipv4.t | Service of int
+(** End-host address within an AS: a concrete IPv4 address or a well-known
+    anycast service (see {!svc_cs}, {!svc_ds}). *)
+
+val svc_cs : int
+(** Control-service anycast address. *)
+
+val svc_ds : int
+(** Discovery-service anycast address. *)
+
+val host_equal : host -> host -> bool
+val host_to_string : host -> string
+
+type proto = Udp | Scmp | Bfd
+(** L4 protocols carried in this reproduction. *)
+
+val proto_to_int : proto -> int
+
+type path = Empty | Standard of Path.t
+(** [Empty] is used for intra-AS communication (no inter-AS forwarding). *)
+
+type t = {
+  traffic_class : int;
+  flow_id : int;  (** 20-bit flow label. *)
+  proto : proto;
+  dst_ia : Scion_addr.Ia.t;
+  src_ia : Scion_addr.Ia.t;
+  dst_host : host;
+  src_host : host;
+  path : path;
+  payload : string;
+}
+
+val make :
+  ?traffic_class:int ->
+  ?flow_id:int ->
+  proto:proto ->
+  src:Scion_addr.Ia.t * host ->
+  dst:Scion_addr.Ia.t * host ->
+  path:path ->
+  string ->
+  t
+
+exception Malformed of string
+
+val encode : t -> string
+val decode : string -> t
+(** Raises [Malformed]. *)
+
+val reply_skeleton : t -> payload:string -> t
+(** Swap source and destination and reverse the path — what an end host
+    does to answer (e.g. an SCMP echo reply). Raises [Path.Malformed] when
+    the path cannot be reversed. *)
+
+module Udp : sig
+  type datagram = { src_port : int; dst_port : int; data : string }
+
+  val encode : datagram -> string
+  val decode : string -> datagram
+  (** Raises [Malformed]. *)
+end

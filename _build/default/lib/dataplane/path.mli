@@ -1,0 +1,94 @@
+(** The SCION standard path header: info fields, hop fields, and the
+    cryptographic hop-field chaining that border routers verify.
+
+    A path carries up to three segments (up, core, down). Every segment has
+    one 8-byte info field and up to 63 12-byte hop fields. Hop-field MACs
+    form a chain: with [beta_0] the segment's random initial value and
+    [mac_i] the MAC of hop [i], [beta_{i+1} = beta_i xor mac_i[0..1]]. A
+    router traversing in construction direction verifies against the
+    current [seg_id] and then folds its own MAC into it; against
+    construction direction it first unfolds. This is what makes SCION paths
+    unforgeable without per-router state. *)
+
+type info = {
+  cons_dir : bool;  (** [true] when traversed in construction direction. *)
+  peer : bool;  (** Peering-shortcut segment flag. *)
+  seg_id : int;  (** Current beta (16 bits), mutated during forwarding. *)
+  timestamp : int32;  (** Segment origination time (unix seconds). *)
+}
+
+type hop = {
+  exp_time : int;  (** Relative expiry (8 bits); see {!hop_expiry}. *)
+  cons_ingress : int;  (** Interface id in construction direction (16 bit). *)
+  cons_egress : int;
+  mac : string;  (** 6-byte truncated CMAC. *)
+}
+
+type t = {
+  mutable curr_inf : int;
+  mutable curr_hf : int;
+  infos : info array;
+  hops : hop array;
+  lens : int array;
+}
+(** Decoded standard path. [infos] has 1-3 entries; [lens] gives the number
+    of hop fields per segment. The [hops] array is flat: segment 0 first. *)
+
+val seg_lens : t -> int array
+(** Number of hop fields per segment — encoded in the path meta header. *)
+
+exception Malformed of string
+
+val create : (info * hop list) list -> t
+(** [create segments] builds a path positioned at its first hop. Raises
+    [Malformed] when the segment structure is invalid (0 or > 3 segments,
+    empty or oversized segment). *)
+
+val hop_expiry : info -> hop -> float
+(** Absolute expiry time in unix seconds: the spec's relative encoding
+    [ (exp_time + 1) * 24h / 256 ] added to the segment timestamp. *)
+
+val max_exp_time : int
+
+val mac_input : seg_id:int -> timestamp:int32 -> hop -> string
+(** The canonical 16-byte MAC input block for a hop field. *)
+
+val compute_mac : Scion_crypto.Cmac.key -> seg_id:int -> timestamp:int32 -> hop -> string
+(** 6-byte truncated hop MAC. *)
+
+val chain_seg_id : seg_id:int -> mac:string -> int
+(** [beta xor mac[0..1]]. *)
+
+val encode : t -> string
+val decode : string -> t
+(** Raises [Malformed]. *)
+
+val encoded_length : t -> int
+val current_info : t -> info
+val current_hop : t -> hop
+val set_seg_id : t -> int -> unit
+val advance : t -> unit
+(** Move to the next hop field, incrementing [curr_inf] across a segment
+    boundary. Raises [Malformed] when already at the last hop. *)
+
+val at_last_hop : t -> bool
+val num_hops : t -> int
+
+val curr_is_seg_first : t -> bool
+(** Whether the current hop is the first hop field of its segment. *)
+
+val curr_is_seg_last : t -> bool
+(** Whether the current hop is the last hop field of its segment. *)
+
+val traversal_interfaces : t -> int * int
+(** [(ingress, egress)] of the current hop in traversal direction: for a
+    segment traversed against construction direction the constructed
+    ingress/egress roles are swapped. *)
+
+val reverse : t -> t
+(** The path as seen by the replying end host: segments and hops in reverse
+    order, construction-direction flags flipped, positioned at the first
+    hop. [seg_id] values are preserved per segment as left by forwarding,
+    which is exactly the state a reply needs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,165 @@
+type iface = { ifid : int; remote_ia : Scion_addr.Ia.t; remote_ifid : int }
+
+type counters = {
+  mutable forwarded : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable mac_failures : int;
+}
+
+type t = {
+  ia : Scion_addr.Ia.t;
+  key : Scion_crypto.Cmac.key;
+  ifaces : (int, iface) Hashtbl.t;
+  iface_state : (int, bool) Hashtbl.t;
+  stats : counters;
+}
+
+let create ~ia ~key ~ifaces =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      if i.ifid = 0 then invalid_arg "Router.create: interface id 0 is reserved";
+      if Hashtbl.mem table i.ifid then
+        invalid_arg (Printf.sprintf "Router.create: duplicate interface %d" i.ifid);
+      Hashtbl.add table i.ifid i)
+    ifaces;
+  {
+    ia;
+    key = Fwkey.cmac_key key;
+    ifaces = table;
+    iface_state = Hashtbl.create 8;
+    stats = { forwarded = 0; delivered = 0; dropped = 0; mac_failures = 0 };
+  }
+
+let ia t = t.ia
+let interfaces t = Hashtbl.fold (fun _ i acc -> i :: acc) t.ifaces []
+let interface t ifid = Hashtbl.find_opt t.ifaces ifid
+let set_interface_state t ifid ~up = Hashtbl.replace t.iface_state ifid up
+let interface_up t ifid = match Hashtbl.find_opt t.iface_state ifid with Some up -> up | None -> true
+
+type drop_reason =
+  | Not_for_us
+  | Invalid_mac
+  | Expired_hop of { expired_at : float }
+  | Ingress_mismatch of { expected : int; actual : int }
+  | Unknown_interface of int
+  | Interface_down of int
+  | Path_malformed of string
+
+let drop_reason_to_string = function
+  | Not_for_us -> "empty-path packet for another AS"
+  | Invalid_mac -> "invalid hop field MAC"
+  | Expired_hop { expired_at } -> Printf.sprintf "hop field expired at %.0f" expired_at
+  | Ingress_mismatch { expected; actual } ->
+      Printf.sprintf "ingress mismatch: hop field says %d, packet arrived on %d" expected actual
+  | Unknown_interface i -> Printf.sprintf "no such interface %d" i
+  | Interface_down i -> Printf.sprintf "interface %d is down" i
+  | Path_malformed m -> Printf.sprintf "malformed path: %s" m
+
+type verdict =
+  | Deliver of Packet.t
+  | Forward of { egress : int; packet : Packet.t }
+  | Drop of drop_reason
+
+(* Verify the current hop field and fold/unfold the segment identifier.
+   Returns an error reason, or unit on success. *)
+let verify_current t ~now path =
+  let info = Path.current_info path in
+  let hop = Path.current_hop path in
+  let expiry = Path.hop_expiry info hop in
+  if now > expiry then Error (Expired_hop { expired_at = expiry })
+  else begin
+    let is_peer_hop =
+      info.Path.peer
+      &&
+      if info.Path.cons_dir then Path.curr_is_seg_first path else Path.curr_is_seg_last path
+    in
+    let check beta =
+      String.equal hop.Path.mac
+        (Path.compute_mac t.key ~seg_id:beta ~timestamp:info.Path.timestamp hop)
+    in
+    if is_peer_hop then
+      if check info.Path.seg_id then Ok () else Error Invalid_mac
+    else if info.Path.cons_dir then begin
+      if check info.Path.seg_id then begin
+        Path.set_seg_id path (Path.chain_seg_id ~seg_id:info.Path.seg_id ~mac:hop.Path.mac);
+        Ok ()
+      end
+      else Error Invalid_mac
+    end
+    else begin
+      let beta = Path.chain_seg_id ~seg_id:info.Path.seg_id ~mac:hop.Path.mac in
+      if check beta then begin
+        Path.set_seg_id path beta;
+        Ok ()
+      end
+      else Error Invalid_mac
+    end
+  end
+
+let drop t reason =
+  t.stats.dropped <- t.stats.dropped + 1;
+  (match reason with Invalid_mac -> t.stats.mac_failures <- t.stats.mac_failures + 1 | _ -> ());
+  Drop reason
+
+let deliver t pkt =
+  t.stats.delivered <- t.stats.delivered + 1;
+  Deliver pkt
+
+let forward_out t pkt path egress =
+  if egress = 0 then drop t (Path_malformed "no egress interface on a transit hop")
+  else if not (interface_up t egress) then drop t (Interface_down egress)
+  else begin
+    match interface t egress with
+    | None -> drop t (Unknown_interface egress)
+    | Some _ ->
+        if not (Path.at_last_hop path) then Path.advance path;
+        t.stats.forwarded <- t.stats.forwarded + 1;
+        Forward { egress; packet = pkt }
+  end
+
+let process t ~now ~ingress pkt =
+  match pkt.Packet.path with
+  | Packet.Empty ->
+      if Scion_addr.Ia.equal pkt.Packet.dst_ia t.ia then deliver t pkt else drop t Not_for_us
+  | Packet.Standard path -> (
+      let hop_ingress, hop_egress = Path.traversal_interfaces path in
+      (* The ingress interface is checked only for packets arriving from
+         outside; locally originated traffic (ingress 0) may start anywhere
+         on its first hop field. *)
+      if ingress <> 0 && hop_ingress <> ingress then
+        drop t (Ingress_mismatch { expected = hop_ingress; actual = ingress })
+      else begin
+        match verify_current t ~now path with
+        | Error reason -> drop t reason
+        | Ok () ->
+            if Path.at_last_hop path then
+              (* Terminal hop: delivery is positional, which also covers
+                 on-path destinations whose cut segment ends mid-tree. *)
+              if Scion_addr.Ia.equal pkt.Packet.dst_ia t.ia then deliver t pkt
+              else drop t Not_for_us
+            else if Path.curr_is_seg_last path && not (Path.current_info path).Path.peer then begin
+              (* Segment crossover: this AS joins two segments. Verify the
+                 next segment's first hop (same AS) and leave through its
+                 egress; the current hop's own egress is not used. Peering
+                 segments are excluded — there the segment switch happens on
+                 the wire, across the peering link. *)
+              Path.advance path;
+              match verify_current t ~now path with
+              | Error reason -> drop t reason
+              | Ok () ->
+                  if Path.at_last_hop path then
+                    (* The joint AS is itself the destination (degenerate
+                       segment cut): positional delivery applies. *)
+                    if Scion_addr.Ia.equal pkt.Packet.dst_ia t.ia then deliver t pkt
+                    else drop t Not_for_us
+                  else begin
+                    let _, egress2 = Path.traversal_interfaces path in
+                    forward_out t pkt path egress2
+                  end
+            end
+            else forward_out t pkt path hop_egress
+      end)
+
+let counters t = t.stats

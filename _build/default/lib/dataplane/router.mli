@@ -1,0 +1,61 @@
+(** The SCION border router forwarding engine.
+
+    A router belongs to one AS, shares the AS forwarding key, and owns a set
+    of external interfaces (each leading to a neighbouring AS). Processing a
+    packet is a pure decision: verify the current hop field (expiry, MAC,
+    ingress-interface consistency), update the segment identifier, handle
+    segment crossovers, and either forward out of an egress interface,
+    deliver locally, or drop with a precise reason.
+
+    MAC verification implements the chained-[seg_id] scheme of {!Path},
+    including the peering rule: a peer hop field (first hop of a
+    construction-direction peering segment, or last hop of a reversed one)
+    is verified against the current [seg_id] directly, with no fold. *)
+
+type iface = { ifid : int; remote_ia : Scion_addr.Ia.t; remote_ifid : int }
+
+type t
+
+val create : ia:Scion_addr.Ia.t -> key:Fwkey.t -> ifaces:iface list -> t
+(** Raises [Invalid_argument] on duplicate interface ids or interface id
+    0 (reserved for "local"). *)
+
+val ia : t -> Scion_addr.Ia.t
+val interfaces : t -> iface list
+val interface : t -> int -> iface option
+val set_interface_state : t -> int -> up:bool -> unit
+(** Administrative/link state; packets to a down interface are dropped with
+    [Interface_down] (and observability hooks count them). *)
+
+val interface_up : t -> int -> bool
+
+type drop_reason =
+  | Not_for_us  (** Empty-path packet whose destination is another AS. *)
+  | Invalid_mac
+  | Expired_hop of { expired_at : float }
+  | Ingress_mismatch of { expected : int; actual : int }
+  | Unknown_interface of int
+  | Interface_down of int
+  | Path_malformed of string
+
+val drop_reason_to_string : drop_reason -> string
+
+type verdict =
+  | Deliver of Packet.t  (** Hand to the local end-host (dst host). *)
+  | Forward of { egress : int; packet : Packet.t }
+  | Drop of drop_reason
+
+val process : t -> now:float -> ingress:int -> Packet.t -> verdict
+(** [process t ~now ~ingress pkt] forwards one packet. [ingress] is the
+    interface the packet arrived on, 0 meaning "from inside the AS" (an
+    end host or gateway). The returned packet shares the (mutated) path. *)
+
+type counters = {
+  mutable forwarded : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable mac_failures : int;
+}
+
+val counters : t -> counters
+(** Live counters, exposed for the observability story of Section 4.4. *)

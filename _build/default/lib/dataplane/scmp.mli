@@ -1,0 +1,19 @@
+(** SCMP — the SCION Control Message Protocol, SCION's ICMP analogue.
+    The measurement tool of Section 5.4 sends SCMP echo requests; border
+    routers emit error messages for unreachable interfaces or expired hop
+    fields. Messages are carried as the payload of a packet whose protocol
+    is [Scmp]. *)
+
+type t =
+  | Echo_request of { id : int; seq : int; data : string }
+  | Echo_reply of { id : int; seq : int; data : string }
+  | Destination_unreachable
+  | External_interface_down of { ia : Scion_addr.Ia.t; ifid : int }
+  | Expired_hop_field
+  | Invalid_hop_field_mac
+
+val encode : t -> string
+val decode : string -> (t, string) result
+val type_code : t -> int * int
+(** (type, code) pair, mirroring the SCMP numbering: echo request 128,
+    echo reply 129, errors in the 1-100 range. *)

@@ -1,0 +1,1 @@
+lib/endhost/bootstrap.ml: Hints List Scion_addr Scion_cppki Scion_crypto Scion_util

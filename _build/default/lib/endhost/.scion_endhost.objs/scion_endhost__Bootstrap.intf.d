@@ -1,0 +1,1 @@
+lib/endhost/bootstrap.mli: Hints Scion_addr Scion_cppki Scion_crypto Scion_util

@@ -1,0 +1,1 @@
+lib/endhost/daemon.ml: Hashtbl List Scion_addr Scion_controlplane Scion_cppki

@@ -1,0 +1,1 @@
+lib/endhost/daemon.mli: Scion_addr Scion_controlplane Scion_cppki

@@ -1,0 +1,1 @@
+lib/endhost/dispatcher.ml: Char Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/endhost/dispatcher.mli:

@@ -1,0 +1,1 @@
+lib/endhost/happy_eyeballs.ml: Float List Stdlib

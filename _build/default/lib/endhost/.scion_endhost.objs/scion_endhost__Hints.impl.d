@@ -1,0 +1,1 @@
+lib/endhost/hints.ml: List Scion_addr String

@@ -1,0 +1,1 @@
+lib/endhost/hints.mli: Scion_addr

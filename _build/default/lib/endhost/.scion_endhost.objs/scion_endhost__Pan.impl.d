@@ -1,0 +1,1 @@
+lib/endhost/pan.ml: List Printf Result Scion_addr Scion_controlplane Stdlib String

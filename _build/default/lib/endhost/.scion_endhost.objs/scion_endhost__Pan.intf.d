@@ -1,0 +1,1 @@
+lib/endhost/pan.mli: Scion_addr Scion_controlplane

@@ -1,0 +1,1 @@
+lib/endhost/sig.ml: Hashtbl List Option Scion_addr Scion_controlplane Scion_util String

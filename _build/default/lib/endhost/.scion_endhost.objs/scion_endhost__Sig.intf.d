@@ -1,0 +1,1 @@
+lib/endhost/sig.mli: Scion_addr Scion_controlplane

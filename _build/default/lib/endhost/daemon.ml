@@ -1,0 +1,65 @@
+module Ia = Scion_addr.Ia
+module Combinator = Scion_controlplane.Combinator
+
+type fetch = dst:Ia.t -> Combinator.fullpath list
+
+type cache_entry = { paths : Combinator.fullpath list; fetched_at : float }
+
+type t = {
+  ia : Ia.t;
+  fetch : fetch;
+  cache_ttl : float;
+  expiry_margin : float;
+  cache : (Ia.t, cache_entry) Hashtbl.t;
+  trcs : (int, Scion_cppki.Trc.t) Hashtbl.t;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ~ia ~fetch ?(cache_ttl = 300.0) ?(expiry_margin = 60.0) () =
+  {
+    ia;
+    fetch;
+    cache_ttl;
+    expiry_margin;
+    cache = Hashtbl.create 32;
+    trcs = Hashtbl.create 4;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let ia t = t.ia
+
+type source = From_cache | Fetched
+
+let usable t ~now paths =
+  List.filter (fun p -> p.Combinator.expiry > now +. t.expiry_margin) paths
+
+let lookup t ~now ~dst =
+  let refresh () =
+    t.miss_count <- t.miss_count + 1;
+    let paths = t.fetch ~dst in
+    Hashtbl.replace t.cache dst { paths; fetched_at = now };
+    (usable t ~now paths, Fetched)
+  in
+  match Hashtbl.find_opt t.cache dst with
+  | Some entry when now -. entry.fetched_at <= t.cache_ttl -> (
+      match usable t ~now entry.paths with
+      | [] -> refresh ()
+      | live ->
+          t.hit_count <- t.hit_count + 1;
+          (live, From_cache))
+  | Some _ | None -> refresh ()
+
+let flush t = Hashtbl.reset t.cache
+let cache_entries t = Hashtbl.length t.cache
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let store_trc t trc =
+  let isd = trc.Scion_cppki.Trc.isd in
+  match Hashtbl.find_opt t.trcs isd with
+  | Some existing when existing.Scion_cppki.Trc.serial >= trc.Scion_cppki.Trc.serial -> ()
+  | Some _ | None -> Hashtbl.replace t.trcs isd trc
+
+let trc_for t ~isd = Hashtbl.find_opt t.trcs isd

@@ -1,0 +1,37 @@
+(** The SCION daemon (sciond): the end-host's control-plane broker.
+    It fetches paths on demand, caches them until close to expiry, and
+    keeps the TRC store. Applications in daemon-dependent mode share one
+    daemon per host (shared cache); bootstrapper-dependent and standalone
+    libraries embed the same logic in-process (Section 4.2.1). *)
+
+type t
+
+type fetch = dst:Scion_addr.Ia.t -> Scion_controlplane.Combinator.fullpath list
+(** Backend query to the AS control service / path servers. *)
+
+val create :
+  ia:Scion_addr.Ia.t ->
+  fetch:fetch ->
+  ?cache_ttl:float ->
+  ?expiry_margin:float ->
+  unit ->
+  t
+(** [cache_ttl] caps how long a cached path set is served (default 300 s);
+    [expiry_margin] discards paths that expire within the margin (default
+    60 s), mirroring the paper's path-expiration lessons. *)
+
+val ia : t -> Scion_addr.Ia.t
+
+type source = From_cache | Fetched
+
+val lookup : t -> now:float -> dst:Scion_addr.Ia.t -> Scion_controlplane.Combinator.fullpath list * source
+(** Valid (non-near-expiry) paths to [dst]. *)
+
+val flush : t -> unit
+val cache_entries : t -> int
+val hits : t -> int
+val misses : t -> int
+
+val store_trc : t -> Scion_cppki.Trc.t -> unit
+val trc_for : t -> isd:int -> Scion_cppki.Trc.t option
+(** Latest stored TRC for the ISD. *)

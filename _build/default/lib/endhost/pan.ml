@@ -1,0 +1,125 @@
+module Combinator = Scion_controlplane.Combinator
+module Hop_pred = Scion_addr.Hop_pred
+module Ia = Scion_addr.Ia
+
+type preference = Latency | Hops | Mtu | Expiry
+
+let preference_of_string = function
+  | "latency" -> Ok Latency
+  | "hops" | "length" -> Ok Hops
+  | "mtu" -> Ok Mtu
+  | "expiry" -> Ok Expiry
+  | s -> Error (Printf.sprintf "unknown preference %S" s)
+
+let preference_to_string = function
+  | Latency -> "latency"
+  | Hops -> "hops"
+  | Mtu -> "mtu"
+  | Expiry -> "expiry"
+
+let available_preference_policies = [ "latency"; "hops"; "mtu"; "expiry" ]
+
+type policy = {
+  sequence : Hop_pred.sequence option;
+  deny_transit : Ia.Set.t;
+  preferences : preference list;
+}
+
+let default_policy = { sequence = None; deny_transit = Ia.Set.empty; preferences = [ Hops ] }
+
+let policy_of_options ?sequence ?preference () =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let* seq =
+    match sequence with
+    | None | Some "" -> Ok None
+    | Some s -> ( match Hop_pred.parse_sequence s with Ok q -> Ok (Some q) | Error e -> Error e)
+  in
+  let* prefs =
+    match preference with
+    | None | Some "" -> Ok [ Hops ]
+    | Some s ->
+        List.fold_left
+          (fun acc name ->
+            let* acc = acc in
+            let* p = preference_of_string (String.trim name) in
+            Ok (p :: acc))
+          (Ok [])
+          (String.split_on_char ',' s)
+        |> Result.map List.rev
+  in
+  Ok { sequence = seq; deny_transit = Ia.Set.empty; preferences = prefs }
+
+let filter_paths policy paths =
+  List.filter
+    (fun p ->
+      let hops = p.Combinator.interfaces in
+      (match policy.sequence with
+      | None -> true
+      | Some seq -> Hop_pred.sequence_matches seq hops)
+      && Hop_pred.deny_transit ~through:policy.deny_transit ~endpoints_ok:true hops)
+    paths
+
+let sort_paths policy ~latency_of paths =
+  let criterion pref a b =
+    match pref with
+    | Latency -> Stdlib.compare (latency_of a) (latency_of b)
+    | Hops -> Stdlib.compare (Combinator.num_hops a) (Combinator.num_hops b)
+    | Mtu -> Stdlib.compare b.Combinator.mtu a.Combinator.mtu (* larger first *)
+    | Expiry -> Stdlib.compare b.Combinator.expiry a.Combinator.expiry (* later first *)
+  in
+  let rec compare_by prefs a b =
+    match prefs with
+    | [] -> Stdlib.compare a.Combinator.fingerprint b.Combinator.fingerprint
+    | p :: rest ->
+        let c = criterion p a b in
+        if c <> 0 then c else compare_by rest a b
+  in
+  List.sort (compare_by policy.preferences) paths
+
+type mode = Daemon_dependent | Bootstrapper_dependent | Standalone
+
+let mode_to_string = function
+  | Daemon_dependent -> "daemon-dependent"
+  | Bootstrapper_dependent -> "bootstrapper-dependent"
+  | Standalone -> "standalone"
+
+let choose_mode ~daemon_available ~bootstrapper_available =
+  if daemon_available then Daemon_dependent
+  else if bootstrapper_available then Bootstrapper_dependent
+  else Standalone
+
+module Conn = struct
+  type send_outcome = Sent of { rtt_ms : float } | Send_failed
+
+  type transport = Combinator.fullpath -> payload:string -> send_outcome
+
+  type t = {
+    transport : transport;
+    mutable ranked : Combinator.fullpath list;  (** Current path first. *)
+    mutable failover_count : int;
+  }
+
+  let dial ~policy ~latency_of ~transport ~paths =
+    match sort_paths policy ~latency_of (filter_paths policy paths) with
+    | [] -> Error "no path satisfies the policy"
+    | ranked -> Ok { transport; ranked; failover_count = 0 }
+
+  let current_path t =
+    match t.ranked with p :: _ -> p | [] -> invalid_arg "Conn: no paths left"
+
+  let candidates t = List.length t.ranked
+
+  let rec send t ~payload =
+    match t.ranked with
+    | [] -> Send_failed
+    | path :: rest -> (
+        match t.transport path ~payload with
+        | Sent r -> Sent r
+        | Send_failed ->
+            (* Drop the dead path and retry over the next candidate. *)
+            t.ranked <- rest;
+            t.failover_count <- t.failover_count + 1;
+            send t ~payload)
+
+  let failovers t = t.failover_count
+end

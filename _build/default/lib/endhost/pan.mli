@@ -1,0 +1,70 @@
+(** The PAN-style application library (Section 4.2): path policies,
+    preference sorting, operating-mode fallback and a path-aware
+    connection abstraction with instant failover.
+
+    This is the surface the paper's SCIONabled applications program
+    against — the [--sequence], [--preference] and [--interactive] flags
+    added to [bat] (Appendix E) map 1:1 onto {!policy}. *)
+
+module Combinator = Scion_controlplane.Combinator
+
+type preference = Latency | Hops | Mtu | Expiry
+(** Sorting criteria; [Latency] uses the estimator given to {!sort_paths}. *)
+
+val preference_of_string : string -> (preference, string) result
+val preference_to_string : preference -> string
+val available_preference_policies : string list
+
+type policy = {
+  sequence : Scion_addr.Hop_pred.sequence option;
+  deny_transit : Scion_addr.Ia.Set.t;
+      (** ASes that may appear only as endpoints (Section 4.9 ethics rule). *)
+  preferences : preference list;
+}
+
+val default_policy : policy
+val policy_of_options :
+  ?sequence:string -> ?preference:string -> unit -> (policy, string) result
+(** Parse the CLI surface: a hop-predicate sequence and a comma-separated
+    preference list. *)
+
+val filter_paths : policy -> Combinator.fullpath list -> Combinator.fullpath list
+val sort_paths :
+  policy -> latency_of:(Combinator.fullpath -> float) -> Combinator.fullpath list ->
+  Combinator.fullpath list
+
+(** Operating modes of the library (Section 4.2.1). *)
+type mode = Daemon_dependent | Bootstrapper_dependent | Standalone
+
+val mode_to_string : mode -> string
+
+val choose_mode : daemon_available:bool -> bootstrapper_available:bool -> mode
+(** The automatic fallback: daemon if present, else in-process with the
+    shared bootstrapper, else fully standalone. *)
+
+(** A path-aware "socket": selected path plus live failover. *)
+module Conn : sig
+  type send_outcome = Sent of { rtt_ms : float } | Send_failed
+
+  type transport = Combinator.fullpath -> payload:string -> send_outcome
+  (** Supplied by the host environment (simulator). *)
+
+  type t
+
+  val dial :
+    policy:policy ->
+    latency_of:(Combinator.fullpath -> float) ->
+    transport:transport ->
+    paths:Combinator.fullpath list ->
+    (t, string) result
+  (** Picks the best path under the policy. Errors when no path passes. *)
+
+  val current_path : t -> Combinator.fullpath
+  val candidates : t -> int
+  val send : t -> payload:string -> send_outcome
+  (** On failure, fails over to the next candidate path (if any) and
+      retries, so a single link failure does not surface to the caller —
+      the rapid-failover behaviour marketed for gaming in Section 4.7. *)
+
+  val failovers : t -> int
+end

@@ -1,0 +1,144 @@
+module Ia = Scion_addr.Ia
+module Ipv4 = Scion_addr.Ipv4
+module Rw = Scion_util.Rw
+module Combinator = Scion_controlplane.Combinator
+
+type route_entry = { prefix : Ipv4.t; bits : int; remote : Ia.t }
+
+type session = {
+  session_id : int;
+  mutable paths : Combinator.fullpath list;  (** Current path first. *)
+  mutable next_seq : int;
+  mutable highest_seen : int;  (** Receiver-side replay floor. *)
+  mutable sent : int;
+  mutable failover_count : int;
+}
+
+type t = {
+  local_ia : Ia.t;
+  mutable table : route_entry list;  (** Kept sorted by descending bits. *)
+  session_by_remote : (Ia.t, session) Hashtbl.t;
+  mutable next_session_id : int;
+}
+
+let create ~local_ia =
+  { local_ia; table = []; session_by_remote = Hashtbl.create 16; next_session_id = 1 }
+
+let add_route t ~prefix ~bits ~remote =
+  if bits < 0 || bits > 32 then invalid_arg "Sig.add_route: bad prefix length";
+  if Ia.equal remote t.local_ia then invalid_arg "Sig.add_route: route to self";
+  t.table <-
+    List.sort
+      (fun a b -> compare b.bits a.bits)
+      ({ prefix; bits; remote } :: t.table)
+
+let route t ip =
+  List.find_opt (fun e -> Ipv4.in_subnet ip ~prefix:e.prefix ~bits:e.bits) t.table
+  |> Option.map (fun e -> e.remote)
+
+let routes t = List.map (fun e -> (e.prefix, e.bits, e.remote)) t.table
+
+let session_for t remote =
+  match Hashtbl.find_opt t.session_by_remote remote with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          session_id = t.next_session_id;
+          paths = [];
+          next_seq = 0;
+          highest_seen = -1;
+          sent = 0;
+          failover_count = 0;
+        }
+      in
+      t.next_session_id <- t.next_session_id + 1;
+      Hashtbl.replace t.session_by_remote remote s;
+      s
+
+let set_paths t ~remote paths = (session_for t remote).paths <- paths
+
+type encapsulated = { session : int; seq : int; inner : string }
+
+let encode_frame f =
+  let w = Rw.Writer.create () in
+  Rw.Writer.raw w "SIG1";
+  Rw.Writer.u16 w f.session;
+  Rw.Writer.u32_of_int w f.seq;
+  Rw.Writer.u16 w (String.length f.inner);
+  Rw.Writer.raw w f.inner;
+  Rw.Writer.contents w
+
+let decode_frame s =
+  let r = Rw.Reader.of_string s in
+  try
+    let magic = Rw.Reader.raw r 4 in
+    if magic <> "SIG1" then Error "bad SIG frame magic"
+    else begin
+      let session = Rw.Reader.u16 r in
+      let seq = Rw.Reader.u32_to_int r in
+      let len = Rw.Reader.u16 r in
+      let inner = Rw.Reader.raw r len in
+      Rw.Reader.expect_end r;
+      Ok { session; seq; inner }
+    end
+  with Rw.Truncated -> Error "truncated SIG frame"
+
+type send_result =
+  | Tunnelled of {
+      remote : Ia.t;
+      path : Combinator.fullpath;
+      frame : string;
+      failovers : int;
+    }
+  | No_route
+  | No_path
+
+let send_ip t ~dst_ip ~packet ~try_path =
+  match route t dst_ip with
+  | None -> No_route
+  | Some remote -> (
+      let s = session_for t remote in
+      let rec attempt failovers =
+        match s.paths with
+        | [] -> No_path
+        | path :: rest ->
+            if try_path path then begin
+              let frame = encode_frame { session = s.session_id; seq = s.next_seq; inner = packet } in
+              s.next_seq <- s.next_seq + 1;
+              s.sent <- s.sent + 1;
+              Tunnelled { remote; path; frame; failovers }
+            end
+            else begin
+              (* Rotate the dead path out for this session. *)
+              s.paths <- rest;
+              s.failover_count <- s.failover_count + 1;
+              attempt (failovers + 1)
+            end
+      in
+      attempt 0)
+
+let receive_frame t frame =
+  match decode_frame frame with
+  | Error e -> Error e
+  | Ok f -> (
+      (* Locate the session by id across remotes. *)
+      let session =
+        Hashtbl.fold
+          (fun _ s acc -> if s.session_id = f.session then Some s else acc)
+          t.session_by_remote None
+      in
+      match session with
+      | None ->
+          (* Inbound sessions from remotes we have not sent to yet get
+             tracked on first contact. *)
+          Ok f.inner
+      | Some s ->
+          if f.seq <= s.highest_seen then Error "stale or replayed frame"
+          else begin
+            s.highest_seen <- f.seq;
+            Ok f.inner
+          end)
+
+let sessions t =
+  Hashtbl.fold (fun remote s acc -> (remote, s.session_id, s.sent) :: acc) t.session_by_remote []

@@ -1,0 +1,68 @@
+(** The SCION-IP Gateway (SIG).
+
+    The paper's opening observation is that {e all} productive SCION use
+    cases before SCIERA ran through SIGs: gateways that tunnel IP traffic
+    over SCION so applications stay unaware of the NGN ("IP-to-SCION-to-IP
+    translation", Section 1). The Edge deployment model of Appendix B also
+    rests on a SIG. This module implements that translation layer:
+
+    - a {b routing table} mapping IPv4 prefixes to remote SCION ASes
+      (longest-prefix match);
+    - {b encapsulation} of raw IP packets into SCION frames (and back),
+      with a sequence-numbered session header per remote AS;
+    - {b session failover}: each remote gets a path set, and send failures
+      rotate to the next path without disturbing the IP flow. *)
+
+type t
+
+val create : local_ia:Scion_addr.Ia.t -> t
+
+val add_route :
+  t -> prefix:Scion_addr.Ipv4.t -> bits:int -> remote:Scion_addr.Ia.t -> unit
+(** Announce that [prefix/bits] lives behind the SIG of [remote]. *)
+
+val route : t -> Scion_addr.Ipv4.t -> Scion_addr.Ia.t option
+(** Longest-prefix match. *)
+
+val routes : t -> (Scion_addr.Ipv4.t * int * Scion_addr.Ia.t) list
+
+val set_paths :
+  t -> remote:Scion_addr.Ia.t -> Scion_controlplane.Combinator.fullpath list -> unit
+(** Install (policy-ordered) paths towards a remote SIG. *)
+
+type encapsulated = {
+  session : int;  (** Session id (one per remote AS). *)
+  seq : int;  (** Per-session sequence number. *)
+  inner : string;  (** The original IP packet bytes. *)
+}
+
+val encode_frame : encapsulated -> string
+val decode_frame : string -> (encapsulated, string) result
+
+type send_result =
+  | Tunnelled of {
+      remote : Scion_addr.Ia.t;
+      path : Scion_controlplane.Combinator.fullpath;
+      frame : string;
+      failovers : int;
+    }
+  | No_route
+  | No_path
+
+val send_ip :
+  t ->
+  dst_ip:Scion_addr.Ipv4.t ->
+  packet:string ->
+  try_path:(Scion_controlplane.Combinator.fullpath -> bool) ->
+  send_result
+(** Tunnel one IP packet: route lookup, encapsulation, then transmission
+    over the first live path ([try_path] reports per-path success, e.g.
+    a border-router walk). Dead paths are rotated out for the session. *)
+
+val receive_frame : t -> string -> (string, string) result
+(** Gateway egress: decapsulate a frame back into the raw IP packet,
+    enforcing per-session sequence monotonicity (late duplicates are
+    rejected). *)
+
+val sessions : t -> (Scion_addr.Ia.t * int * int) list
+(** (remote, session id, packets sent) for observability. *)

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Engine Float Hashtbl List Option Printf Scion_util

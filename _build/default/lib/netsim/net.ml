@@ -1,0 +1,196 @@
+module Rng = Scion_util.Rng
+
+type node = int
+type link_id = int
+
+type link_params = {
+  latency_ms : float;
+  jitter_ms : float;
+  loss : float;
+  bandwidth_mbps : float;
+}
+
+let default_params = { latency_ms = 10.0; jitter_ms = 0.5; loss = 0.0; bandwidth_mbps = 1000.0 }
+
+type link = {
+  a : node;
+  b : node;
+  p : link_params;
+  mutable up : bool;
+  mutable extra_ms : float;
+  (* FIFO serialisation state for packet-level mode, per direction. *)
+  mutable busy_until_ab : float;
+  mutable busy_until_ba : float;
+}
+
+type t = {
+  rng : Rng.t;
+  mutable names : string array;
+  name_index : (string, node) Hashtbl.t;
+  mutable nodes : int;
+  mutable links : link array;
+  mutable nlinks : int;
+  mutable adjacency : link_id list array;  (** per node *)
+}
+
+let create ~rng =
+  {
+    rng;
+    names = Array.make 16 "";
+    name_index = Hashtbl.create 64;
+    nodes = 0;
+    links = [||];
+    nlinks = 0;
+    adjacency = Array.make 16 [];
+  }
+
+let add_node t name =
+  if Hashtbl.mem t.name_index name then
+    invalid_arg (Printf.sprintf "Net.add_node: duplicate node %S" name);
+  if t.nodes = Array.length t.names then begin
+    let names = Array.make (2 * t.nodes) "" in
+    Array.blit t.names 0 names 0 t.nodes;
+    t.names <- names;
+    let adjacency = Array.make (2 * t.nodes) [] in
+    Array.blit t.adjacency 0 adjacency 0 t.nodes;
+    t.adjacency <- adjacency
+  end;
+  let id = t.nodes in
+  t.names.(id) <- name;
+  t.nodes <- id + 1;
+  Hashtbl.replace t.name_index name id;
+  id
+
+let node_of_name t name = Hashtbl.find_opt t.name_index name
+
+let name_of_node t n =
+  if n < 0 || n >= t.nodes then invalid_arg "Net.name_of_node: bad node id";
+  t.names.(n)
+
+let num_nodes t = t.nodes
+
+let add_link t a b p =
+  if a = b then invalid_arg "Net.add_link: self loop";
+  if a < 0 || a >= t.nodes || b < 0 || b >= t.nodes then invalid_arg "Net.add_link: bad endpoint";
+  let link = { a; b; p; up = true; extra_ms = 0.0; busy_until_ab = 0.0; busy_until_ba = 0.0 } in
+  if t.nlinks = Array.length t.links then begin
+    let links = Array.make (max 16 (2 * t.nlinks)) link in
+    Array.blit t.links 0 links 0 t.nlinks;
+    t.links <- links
+  end;
+  let id = t.nlinks in
+  t.links.(id) <- link;
+  t.nlinks <- id + 1;
+  t.adjacency.(a) <- id :: t.adjacency.(a);
+  t.adjacency.(b) <- id :: t.adjacency.(b);
+  id
+
+let get t id =
+  if id < 0 || id >= t.nlinks then invalid_arg "Net: bad link id";
+  t.links.(id)
+
+let endpoints t id =
+  let l = get t id in
+  (l.a, l.b)
+
+let params t id = (get t id).p
+let num_links t = t.nlinks
+let links_of t n = t.adjacency.(n)
+let set_link_up t id up = (get t id).up <- up
+let link_up t id = (get t id).up
+let set_extra_latency t id ms = (get t id).extra_ms <- ms
+let extra_latency t id = (get t id).extra_ms
+
+let one_way_ms t l =
+  l.p.latency_ms +. l.extra_ms +. Rng.exponential t.rng ~rate:(1.0 /. Float.max 1e-6 l.p.jitter_ms)
+
+let sample_one_way t id =
+  let l = get t id in
+  if not l.up then `Lost
+  else if l.p.loss > 0.0 && Rng.float t.rng 1.0 < l.p.loss then `Lost
+  else `Delivered (one_way_ms t l)
+
+let path_rtt t ids =
+  let rec go acc = function
+    | [] -> `Rtt acc
+    | id :: rest -> (
+        match sample_one_way t id with `Lost -> `Lost | `Delivered ms -> go (acc +. ms) rest)
+  in
+  (* Forward, then return traversal with independent samples. *)
+  match go 0.0 ids with `Lost -> `Lost | `Rtt fwd -> ( match go fwd ids with r -> r)
+
+let path_base_latency t ids =
+  List.fold_left
+    (fun acc id ->
+      let l = get t id in
+      acc +. l.p.latency_ms +. l.extra_ms)
+    0.0 ids
+
+let transmit t engine id ~from ~size_bytes ~on_arrival =
+  let l = get t id in
+  if l.up && not (l.p.loss > 0.0 && Rng.float t.rng 1.0 < l.p.loss) then begin
+    let now = Engine.now engine in
+    let serialization = float_of_int size_bytes *. 8.0 /. (l.p.bandwidth_mbps *. 1e6) in
+    let start, set_busy =
+      if from = l.a then
+        (Float.max now l.busy_until_ab, fun v -> l.busy_until_ab <- v)
+      else if from = l.b then (Float.max now l.busy_until_ba, fun v -> l.busy_until_ba <- v)
+      else invalid_arg "Net.transmit: sender is not an endpoint"
+    in
+    let done_sending = start +. serialization in
+    set_busy done_sending;
+    let arrival = done_sending +. (one_way_ms t l /. 1000.0) in
+    Engine.schedule_at engine ~time:arrival on_arrival
+  end
+
+(* Uniform-cost search over up links; [weight] chooses the metric. *)
+let route t ~src ~dst ~weight =
+  if src = dst then Some (0.0, [])
+  else begin
+    let dist = Array.make t.nodes infinity in
+    let via = Array.make t.nodes None in
+    let visited = Array.make t.nodes false in
+    dist.(src) <- 0.0;
+    let exception Done in
+    (try
+       for _ = 1 to t.nodes do
+         (* Extract the unvisited node with smallest distance. *)
+         let u = ref (-1) in
+         for v = 0 to t.nodes - 1 do
+           if (not visited.(v)) && dist.(v) < infinity
+              && (!u = -1 || dist.(v) < dist.(!u)) then u := v
+         done;
+         if !u = -1 then raise Done;
+         if !u = dst then raise Done;
+         visited.(!u) <- true;
+         List.iter
+           (fun id ->
+             let l = t.links.(id) in
+             if l.up then begin
+               let v = if l.a = !u then l.b else l.a in
+               let d = dist.(!u) +. weight l in
+               if d < dist.(v) -. 1e-12 then begin
+                 dist.(v) <- d;
+                 via.(v) <- Some (id, !u)
+               end
+             end)
+           t.adjacency.(!u)
+       done
+     with Done -> ());
+    if dist.(dst) = infinity then None
+    else begin
+      let rec backtrack v acc =
+        match via.(v) with
+        | None -> acc
+        | Some (id, prev) -> backtrack prev (id :: acc)
+      in
+      Some (dist.(dst), backtrack dst [])
+    end
+  end
+
+let dijkstra t ~src ~dst = route t ~src ~dst ~weight:(fun l -> l.p.latency_ms +. l.extra_ms)
+
+let min_hop_route t ~src ~dst =
+  Option.map snd (route t ~src ~dst ~weight:(fun _ -> 1.0))
+
+let connected t ~src ~dst = route t ~src ~dst ~weight:(fun _ -> 1.0) <> None

@@ -1,0 +1,13 @@
+(** Hexadecimal encoding helpers for debugging, test vectors and
+    fingerprints. *)
+
+val encode : string -> string
+(** Lower-case hex of every byte. *)
+
+val decode : string -> string
+(** Inverse of [encode]; ignores ASCII whitespace. Raises [Invalid_argument]
+    on non-hex characters or odd digit count. *)
+
+val short : ?n:int -> string -> string
+(** [short s] is the first [n] (default 8) hex digits of [s], for compact
+    fingerprint display. *)

@@ -1,0 +1,114 @@
+let mean xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  assert (Array.length xs > 0);
+  let m = mean xs in
+  let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+  sqrt (acc /. float_of_int (Array.length xs))
+
+let min_max xs =
+  assert (Array.length xs > 0);
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  assert (Array.length xs > 0);
+  assert (p >= 0.0 && p <= 100.0);
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then ys.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+
+let median xs = percentile xs 50.0
+
+type boxplot = {
+  low_whisker : float;
+  q1 : float;
+  med : float;
+  q3 : float;
+  high_whisker : float;
+}
+
+let boxplot xs =
+  {
+    low_whisker = percentile xs 5.0;
+    q1 = percentile xs 25.0;
+    med = percentile xs 50.0;
+    q3 = percentile xs 75.0;
+    high_whisker = percentile xs 95.0;
+  }
+
+type cdf = (float * float) list
+
+let cdf xs =
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  let points = ref [] in
+  for i = n - 1 downto 0 do
+    points := (ys.(i), float_of_int (i + 1) /. float_of_int n) :: !points
+  done;
+  (* Collapse duplicate values, keeping the highest fraction for each. *)
+  let rec dedup = function
+    | (v1, _) :: ((v2, _) :: _ as rest) when v1 = v2 -> dedup rest
+    | p :: rest -> p :: dedup rest
+    | [] -> []
+  in
+  dedup !points
+
+let cdf_at c v =
+  let rec go acc = function
+    | (x, f) :: rest -> if x <= v then go f rest else acc
+    | [] -> acc
+  in
+  go 0.0 c
+
+let cdf_inverse c f =
+  assert (f > 0.0 && f <= 1.0);
+  let rec go = function
+    | [ (x, _) ] -> x
+    | (x, frac) :: rest -> if frac >= f then x else go rest
+    | [] -> invalid_arg "cdf_inverse: empty cdf"
+  in
+  go c
+
+let resample_cdf c n =
+  let arr = Array.of_list c in
+  let len = Array.length arr in
+  if len <= n || n < 2 then c
+  else
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      let idx = i * (len - 1) / (n - 1) in
+      out := arr.(idx) :: !out
+    done;
+    !out
+
+let histogram xs ~bins =
+  assert (Array.length xs > 0);
+  assert (bins > 0);
+  let lo, hi = min_max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = if i >= bins then bins - 1 else i in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts

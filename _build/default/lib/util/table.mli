@@ -1,0 +1,16 @@
+(** Plain-text table rendering for the experiment harness output. *)
+
+val render : header:string list -> rows:string list list -> string
+(** [render ~header ~rows] returns an aligned ASCII table. Every row must
+    have the same arity as the header. *)
+
+val print : header:string list -> rows:string list list -> unit
+
+val fmt_ms : float -> string
+(** Milliseconds with one decimal, e.g. ["149.8"]. *)
+
+val fmt_pct : float -> string
+(** Fraction rendered as a percentage with one decimal, e.g. ["23.7%"]. *)
+
+val fmt_ratio : float -> string
+(** Ratio with three decimals, e.g. ["0.931"]. *)

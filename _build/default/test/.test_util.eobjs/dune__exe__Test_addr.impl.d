@@ -1,0 +1,1 @@
+test/test_addr.ml: Alcotest Hop_pred Ia Ipv4 List Printf QCheck QCheck_alcotest Result Scion_addr Scion_util String

@@ -1,0 +1,1 @@
+test/test_cppki.ml: Alcotest Ca Cert List Printf Scion_addr Scion_cppki Scion_crypto Trc Verify

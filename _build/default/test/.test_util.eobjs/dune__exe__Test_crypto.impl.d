@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes128 Alcotest Bignum Char Cmac Hmac List Modp Printf QCheck QCheck_alcotest Schnorr Scion_crypto Scion_util Sha256 String

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Fwkey Int32 List Packet Path QCheck QCheck_alcotest Router Scion_addr Scion_dataplane Scmp String

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Engine Fun Int64 List Net Netsim QCheck QCheck_alcotest Scion_util

@@ -1,0 +1,1 @@
+test/test_sciera.ml: Alcotest Array Lazy List Printf Sciera Scion_addr Scion_controlplane Scion_endhost Scion_util

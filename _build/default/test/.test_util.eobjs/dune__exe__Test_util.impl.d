@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Hex List QCheck QCheck_alcotest Rng Rw Scion_util Stats String Table

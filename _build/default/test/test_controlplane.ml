@@ -1,0 +1,458 @@
+open Scion_controlplane
+module Ia = Scion_addr.Ia
+module Cert = Scion_cppki.Cert
+module Router = Scion_dataplane.Router
+
+let ia = Ia.of_string
+let now = 1_700_000_000.0
+
+(* Two-ISD test topology with multihoming, a two-level hierarchy, a peering
+   link and a leaf reachable from both sides:
+
+   ISD 1:  cores C1 -- C2 (and both -- C3 in ISD 2)
+           C1 > A, C1 > D, C2 > B, C2 > D
+           A > E, B > F, A > H, B > H
+           A -- B (peering)
+   ISD 2:  core C3 > G                                              *)
+
+let c1 = ia "1-2:0:1"
+let c2 = ia "1-2:0:2"
+let c3 = ia "2-2:0:1"
+let a = ia "1-10"
+let b = ia "1-11"
+let d = ia "1-12"
+let e = ia "1-13"
+let f = ia "1-14"
+let h = ia "1-15"
+let g = ia "2-20"
+
+let spec ?(core = false) ?(ca = false) ?(profile = Cert.Open_source) spec_ia =
+  { Mesh.spec_ia; core; ca; profile; note = "test" }
+
+let link ?(cls = Mesh.Parent_child) l_a l_b = { Mesh.l_a; l_b; cls }
+
+let build_mesh ?config () =
+  let ases =
+    [
+      spec ~core:true ~ca:true c1;
+      spec ~core:true ~profile:Cert.Proprietary c2;
+      spec ~core:true ~ca:true c3;
+      spec a;
+      spec ~profile:Cert.Proprietary b;
+      spec d;
+      spec e;
+      spec f;
+      spec h;
+      spec g;
+    ]
+  in
+  let links =
+    [
+      link ~cls:Mesh.Core_link c1 c2;
+      link ~cls:Mesh.Core_link c1 c3;
+      link ~cls:Mesh.Core_link c2 c3;
+      link c1 a;
+      link c1 d;
+      link c2 b;
+      link c2 d;
+      link a e;
+      link b f;
+      link a h;
+      link b h;
+      link c3 g;
+      link ~cls:Mesh.Peering a b;
+    ]
+  in
+  let m = Mesh.create ?config ~now ~ases ~links () in
+  Mesh.run_beaconing m ~now;
+  m
+
+let mesh = lazy (build_mesh ())
+
+let paths m src dst = Mesh.paths m ~src ~dst
+
+let test_beaconing_produces_segments () =
+  let m = Lazy.force mesh in
+  Alcotest.(check bool) "E has up segments" true (Mesh.up_segments m e <> []);
+  Alcotest.(check bool) "E has down segments" true (Mesh.down_segments m e <> []);
+  Alcotest.(check bool) "C1 has core segments" true (Mesh.core_segments_at m c1 <> []);
+  Alcotest.(check bool) "no verification failures" true (Mesh.verification_failures m = 0)
+
+let test_paths_exist_and_are_sorted () =
+  let m = Lazy.force mesh in
+  let ps = paths m e f in
+  Alcotest.(check bool) "paths E->F" true (List.length ps >= 3);
+  let hops = List.map Combinator.num_hops ps in
+  Alcotest.(check (list int)) "sorted by hops" (List.sort compare hops) hops
+
+let test_all_paths_data_plane_valid () =
+  let m = Lazy.force mesh in
+  let pairs = [ (e, f); (e, h); (a, d); (g, e); (c1, e); (e, c3); (c1, c3); (e, d); (h, g) ] in
+  List.iter
+    (fun (src, dst) ->
+      let ps = paths m src dst in
+      Alcotest.(check bool)
+        (Printf.sprintf "paths exist %s->%s" (Ia.to_string src) (Ia.to_string dst))
+        true (ps <> []);
+      List.iter
+        (fun fp ->
+          match Mesh.walk m ~now fp with
+          | Mesh.Walk_delivered { dst = at; hops; _ } ->
+              Alcotest.(check bool) "delivered at dst" true (Ia.equal at dst);
+              Alcotest.(check int) "hop count matches trace" (Combinator.num_hops fp) (hops + 1)
+          | Mesh.Walk_dropped { at; reason } ->
+              Alcotest.fail
+                (Printf.sprintf "%s->%s dropped at %s: %s" (Ia.to_string src) (Ia.to_string dst)
+                   (Ia.to_string at)
+                   (Router.drop_reason_to_string reason)))
+        ps)
+    pairs
+
+let test_fingerprints_unique () =
+  let m = Lazy.force mesh in
+  let ps = paths m e h in
+  let fps = List.map (fun p -> p.Combinator.fingerprint) ps in
+  Alcotest.(check int) "unique" (List.length fps) (List.length (List.sort_uniq compare fps))
+
+let test_peering_path_exists () =
+  let m = Lazy.force mesh in
+  let ps = paths m e f in
+  (* The peering path E-A-(peer)-B-F has 4 ASes; any core route has >= 5. *)
+  let shortest = List.hd ps in
+  Alcotest.(check int) "peering path is shortest" 4 (Combinator.num_hops shortest);
+  Alcotest.(check bool) "does not touch the core" false
+    (Combinator.contains_ia shortest c1 || Combinator.contains_ia shortest c2);
+  match Mesh.walk m ~now shortest with
+  | Mesh.Walk_delivered _ -> ()
+  | Mesh.Walk_dropped { at; reason } ->
+      Alcotest.fail
+        (Printf.sprintf "peering path dropped at %s: %s" (Ia.to_string at)
+           (Router.drop_reason_to_string reason))
+
+let test_shortcut_path_exists () =
+  let m = Lazy.force mesh in
+  let ps = paths m e h in
+  (* Shortcut at A: E-A-H without climbing to C1. *)
+  let shortest = List.hd ps in
+  Alcotest.(check int) "shortcut is 3 ASes" 3 (Combinator.num_hops shortest);
+  Alcotest.(check bool) "avoids core" false (Combinator.contains_ia shortest c1)
+
+let test_onpath_destination () =
+  let m = Lazy.force mesh in
+  (* A is an ancestor of E: expect a direct 2-AS path (up-segment cut). *)
+  let ps = paths m e a in
+  Alcotest.(check bool) "paths exist" true (ps <> []);
+  Alcotest.(check int) "direct path" 2 (Combinator.num_hops (List.hd ps));
+  (* And the reverse: A -> E via the down segment cut. *)
+  let ps' = paths m a e in
+  Alcotest.(check int) "down-cut path" 2 (Combinator.num_hops (List.hd ps'))
+
+let test_multihomed_leaf_diversity () =
+  let m = Lazy.force mesh in
+  (* D hangs off both cores; E should reach it via C1 directly and via C2. *)
+  let ps = paths m e d in
+  Alcotest.(check bool) "at least 2 paths" true (List.length ps >= 2);
+  let has_via ia = List.exists (fun p -> Combinator.contains_ia p ia) ps in
+  Alcotest.(check bool) "some path via C1" true (has_via c1);
+  Alcotest.(check bool) "some path via C2" true (has_via c2)
+
+let test_cross_isd () =
+  let m = Lazy.force mesh in
+  let ps = paths m g e in
+  Alcotest.(check bool) "cross-ISD paths" true (ps <> []);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "goes through C3" true (Combinator.contains_ia p c3))
+    ps
+
+let test_reply_path () =
+  let m = Lazy.force mesh in
+  let ps = paths m e f in
+  List.iter
+    (fun fp ->
+      match Mesh.walk m ~now ~payload:"ping" fp with
+      | Mesh.Walk_dropped _ -> Alcotest.fail "forward walk failed"
+      | Mesh.Walk_delivered { packet; _ } -> (
+          let reply = Scion_dataplane.Packet.reply_skeleton packet ~payload:"pong" in
+          match Mesh.walk_packet m ~now ~from:f reply with
+          | Mesh.Walk_delivered { dst; packet = p; _ } ->
+              Alcotest.(check bool) "reply reaches E" true (Ia.equal dst e);
+              Alcotest.(check string) "payload" "pong" p.Scion_dataplane.Packet.payload
+          | Mesh.Walk_dropped { at; reason } ->
+              Alcotest.fail
+                (Printf.sprintf "reply dropped at %s: %s" (Ia.to_string at)
+                   (Router.drop_reason_to_string reason))))
+    ps
+
+let test_tampered_mac_rejected () =
+  let m = Lazy.force mesh in
+  let fp = List.hd (paths m e f) in
+  let raw = Combinator.fresh_raw fp in
+  (* Corrupt the MAC of the second hop field. *)
+  let hop = raw.Scion_dataplane.Path.hops.(1) in
+  let bad_mac =
+    String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 0xFF) else c)
+      hop.Scion_dataplane.Path.mac
+  in
+  raw.Scion_dataplane.Path.hops.(1) <- { hop with Scion_dataplane.Path.mac = bad_mac };
+  let pkt =
+    Scion_dataplane.Packet.make ~proto:Scion_dataplane.Packet.Udp
+      ~src:(e, Scion_dataplane.Packet.Ipv4 (Scion_addr.Ipv4.of_string "10.0.0.1"))
+      ~dst:(f, Scion_dataplane.Packet.Ipv4 (Scion_addr.Ipv4.of_string "10.0.0.2"))
+      ~path:(Scion_dataplane.Packet.Standard raw) "x"
+  in
+  match Mesh.walk_packet m ~now ~from:e pkt with
+  | Mesh.Walk_dropped { reason = Router.Invalid_mac; _ } -> ()
+  | Mesh.Walk_dropped { reason; _ } ->
+      Alcotest.fail ("wrong drop reason: " ^ Router.drop_reason_to_string reason)
+  | Mesh.Walk_delivered _ -> Alcotest.fail "tampered packet delivered"
+
+let test_expired_hops_rejected () =
+  let m = Lazy.force mesh in
+  let fp = List.hd (paths m e f) in
+  let two_days = now +. (2.0 *. 86400.0) in
+  match Mesh.walk m ~now:two_days fp with
+  | Mesh.Walk_dropped { reason = Router.Expired_hop _; _ } -> ()
+  | Mesh.Walk_dropped { reason; _ } ->
+      Alcotest.fail ("wrong drop reason: " ^ Router.drop_reason_to_string reason)
+  | Mesh.Walk_delivered _ -> Alcotest.fail "expired path delivered"
+
+let test_link_failure_prunes_paths () =
+  let m = build_mesh () in
+  let before = List.length (paths m e f) in
+  (* Cut the core link C1-C2; the peering route must survive. *)
+  List.iter (fun id -> Mesh.set_link_state m id ~up:false) (Mesh.find_links m c1 c2);
+  (* Data plane reacts immediately: paths through the dead link now fail. *)
+  let dead_now =
+    List.filter (fun p -> not (Mesh.path_alive m ~now p)) (paths m e f)
+  in
+  Alcotest.(check bool) "some paths die on the data plane" true (dead_now <> []);
+  (* After re-beaconing the control plane stops offering them. *)
+  Mesh.run_beaconing m ~now;
+  let after = paths m e f in
+  Alcotest.(check bool) "fewer paths" true (List.length after < before);
+  Alcotest.(check bool) "peering path survives" true
+    (List.exists (fun p -> Combinator.num_hops p = 4) after);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "every remaining path alive" true (Mesh.path_alive m ~now p))
+    after
+
+let test_leaf_isolation () =
+  let m = build_mesh () in
+  List.iter (fun id -> Mesh.set_link_state m id ~up:false) (Mesh.find_links m a e);
+  Mesh.run_beaconing m ~now;
+  Alcotest.(check int) "E unreachable" 0 (List.length (paths m e f));
+  List.iter (fun id -> Mesh.set_link_state m id ~up:true) (Mesh.find_links m a e);
+  Mesh.run_beaconing m ~now;
+  Alcotest.(check bool) "E reachable again" true (paths m e f <> [])
+
+let test_cert_renewal () =
+  let m = build_mesh () in
+  let later = now +. (2.5 *. 86400.0) in
+  let renewed = Mesh.renew_certificates m ~now:later in
+  Alcotest.(check bool) "all ASes renewed" true (renewed >= 10);
+  (* Re-beaconing at the later time must verify with the fresh certs. *)
+  Mesh.run_beaconing m ~now:later;
+  Alcotest.(check bool) "paths still valid" true (paths m e f <> []);
+  Alcotest.(check int) "no verification failures" 0 (Mesh.verification_failures m)
+
+let test_mixed_profiles_interoperate () =
+  let m = Lazy.force mesh in
+  (* B and C2 use the proprietary profile, the rest open-source; paths
+     spanning both (e.g. E->F via C2) prove cross-stack interop. *)
+  let ps = paths m e f in
+  Alcotest.(check bool) "path crossing profiles" true
+    (List.exists (fun p -> Combinator.contains_ia p c2) ps)
+
+let test_pcb_verify_rejects_tamper () =
+  let m = Lazy.force mesh in
+  match Mesh.up_segments m e with
+  | [] -> Alcotest.fail "no up segments"
+  | pcb :: _ -> (
+      let lookup = Mesh.cert_material m in
+      let cache = Sigcache.create () in
+      (match Pcb.verify pcb ~cache ~lookup ~now with
+      | Ok () -> ()
+      | Error err -> Alcotest.fail ("genuine PCB rejected: " ^ Pcb.check_error_to_string err));
+      (* Tamper with a signed field: verification must fail. *)
+      let tampered =
+        match pcb.Pcb.entries with
+        | e0 :: rest -> { pcb with Pcb.entries = { e0 with Pcb.mtu = e0.Pcb.mtu + 1 } :: rest }
+        | [] -> pcb
+      in
+      (match Pcb.verify tampered ~cache ~lookup ~now with
+      | Error (Pcb.Bad_signature _) -> ()
+      | Ok () -> Alcotest.fail "tampered PCB accepted"
+      | Error err -> Alcotest.fail ("unexpected error: " ^ Pcb.check_error_to_string err));
+      (* And with no certificate material at all. *)
+      match Pcb.verify pcb ~cache ~lookup:(fun _ -> None) ~now with
+      | Error (Pcb.Unknown_as _) -> ()
+      | _ -> Alcotest.fail "expected unknown-as error with empty lookup")
+
+let test_disjointness_metric () =
+  let m = Lazy.force mesh in
+  let ps = paths m e d in
+  match ps with
+  | p1 :: p2 :: _ ->
+      let self = Combinator.disjointness p1 p1 in
+      Alcotest.(check (float 1e-9)) "self disjointness 0" 0.0 self;
+      let cross = Combinator.disjointness p1 p2 in
+      Alcotest.(check bool) "cross in (0,1]" true (cross > 0.0 && cross <= 1.0)
+  | _ -> Alcotest.fail "need two paths"
+
+let test_beacon_store_policy () =
+  let store = Beacon_store.create ~per_origin:2 () in
+  let rng = Scion_util.Rng.create 1L in
+  let fwkey = Scion_dataplane.Fwkey.of_master_secret "k" in
+  let signer, _ = Scion_crypto.Schnorr.derive ~seed:"s" in
+  let mk egress =
+    let pcb = Pcb.originate ~rng ~now in
+    Pcb.extend pcb ~ia:c1 ~fwkey ~signer ~ingress:0 ~egress ()
+  in
+  Alcotest.(check bool) "add 1" true (Beacon_store.insert store (mk 1) = Beacon_store.Added);
+  Alcotest.(check bool) "add 2" true (Beacon_store.insert store (mk 2) = Beacon_store.Added);
+  Alcotest.(check int) "count" 2 (Beacon_store.count store);
+  (* Longer beacon into a full bucket is rejected. *)
+  let long =
+    let pcb = mk 3 in
+    Pcb.extend pcb ~ia:c2 ~fwkey ~signer ~ingress:9 ~egress:4 ()
+  in
+  (* 'long' has origin c1 as well (first entry), bucket full with shorter. *)
+  Alcotest.(check bool) "rejected"
+    true
+    (Beacon_store.insert store long = Beacon_store.Rejected_full);
+  Alcotest.(check int) "origins" 1 (List.length (Beacon_store.origins store))
+
+(* The central soundness property, checked on random topologies: every path
+   the control plane offers is accepted hop by hop by the data plane, and
+   its reverse delivers the reply. Random topologies: 2 ISDs, 1-3 cores
+   each, random leaf trees with multi-homing, parallel links and optional
+   peering. *)
+let qcheck_random_topology_paths_valid =
+  let gen_topo =
+    QCheck.Gen.(
+      let* n_cores1 = 1 -- 3 in
+      let* n_cores2 = 1 -- 2 in
+      let* n_leaves1 = 1 -- 5 in
+      let* n_leaves2 = 0 -- 3 in
+      let* seed = 0 -- 10_000 in
+      return (n_cores1, n_cores2, n_leaves1, n_leaves2, seed))
+  in
+  QCheck.Test.make ~name:"random topology: all paths data-plane valid" ~count:12
+    (QCheck.make gen_topo)
+    (fun (n_cores1, n_cores2, n_leaves1, n_leaves2, seed) ->
+      let rng = Scion_util.Rng.create (Int64.of_int (seed + 77)) in
+      let mk_ias isd n_cores n_leaves =
+        ( List.init n_cores (fun i -> Ia.make isd (100 + i)),
+          List.init n_leaves (fun i -> Ia.make isd (200 + i)) )
+      in
+      let cores1, leaves1 = mk_ias 1 n_cores1 n_leaves1 in
+      let cores2, leaves2 = mk_ias 2 n_cores2 n_leaves2 in
+      let all_cores = cores1 @ cores2 in
+      let specs =
+        List.map (fun i -> spec ~core:true ~ca:true i) [ List.hd cores1; List.hd cores2 ]
+        @ List.map (fun i -> spec ~core:true i) (List.filter (fun c -> not (Ia.equal c (List.hd cores1)) && not (Ia.equal c (List.hd cores2))) all_cores)
+        @ List.map (fun i -> spec i) (leaves1 @ leaves2)
+      in
+      (* Core mesh: chain plus random extras (possibly parallel). *)
+      let core_links =
+        let chain =
+          let rec pairs = function
+            | a :: (b :: _ as rest) -> link ~cls:Mesh.Core_link a b :: pairs rest
+            | _ -> []
+          in
+          pairs all_cores
+        in
+        let extras =
+          List.filter_map
+            (fun _ ->
+              let a = Scion_util.Rng.pick rng (Array.of_list all_cores) in
+              let b = Scion_util.Rng.pick rng (Array.of_list all_cores) in
+              if Ia.equal a b then None else Some (link ~cls:Mesh.Core_link a b))
+            (List.init 3 Fun.id)
+        in
+        chain @ extras
+      in
+      (* Leaves attach to 1-2 parents in their ISD (cores or earlier leaves). *)
+      let leaf_links isd_cores leaves =
+        let rec go acc parents = function
+          | [] -> acc
+          | leaf :: rest ->
+              let candidates = Array.of_list parents in
+              let p1 = Scion_util.Rng.pick rng candidates in
+              let acc = link p1 leaf :: acc in
+              let acc =
+                if Scion_util.Rng.bool rng then begin
+                  let p2 = Scion_util.Rng.pick rng candidates in
+                  if Ia.equal p1 p2 then acc else link p2 leaf :: acc
+                end
+                else acc
+              in
+              go acc (leaf :: parents) rest
+        in
+        go [] isd_cores leaves
+      in
+      let links =
+        core_links @ leaf_links cores1 leaves1 @ leaf_links cores2 leaves2
+        @
+        (* Optional peering between two leaves of ISD 1. *)
+        match leaves1 with
+        | l1 :: l2 :: _ when Scion_util.Rng.bool rng -> [ link ~cls:Mesh.Peering l1 l2 ]
+        | _ -> []
+      in
+      let config = { Mesh.default_config with Mesh.verify_pcbs = false; per_origin = 6 } in
+      let m = Mesh.create ~config ~now ~ases:specs ~links () in
+      Mesh.run_beaconing m ~now;
+      (* Check several random ordered pairs. *)
+      let everyone = Array.of_list (all_cores @ leaves1 @ leaves2) in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let src = Scion_util.Rng.pick rng everyone in
+        let dst = Scion_util.Rng.pick rng everyone in
+        if not (Ia.equal src dst) then
+          List.iter
+            (fun fp ->
+              (match Mesh.walk m ~now fp with
+              | Mesh.Walk_delivered { dst = at; _ } -> if not (Ia.equal at dst) then ok := false
+              | Mesh.Walk_dropped _ -> ok := false);
+              (* And the reply path. *)
+              match Mesh.walk m ~now ~payload:"ping" fp with
+              | Mesh.Walk_delivered { packet; _ } -> (
+                  let reply = Scion_dataplane.Packet.reply_skeleton packet ~payload:"pong" in
+                  match Mesh.walk_packet m ~now ~from:dst reply with
+                  | Mesh.Walk_delivered { dst = back; _ } ->
+                      if not (Ia.equal back src) then ok := false
+                  | Mesh.Walk_dropped _ -> ok := false)
+              | Mesh.Walk_dropped _ -> ())
+            (Mesh.paths m ~src ~dst)
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "scion_controlplane"
+    [
+      ( "mesh",
+        [
+          Alcotest.test_case "beaconing produces segments" `Quick test_beaconing_produces_segments;
+          Alcotest.test_case "paths exist, sorted" `Quick test_paths_exist_and_are_sorted;
+          Alcotest.test_case "all paths data-plane valid" `Quick test_all_paths_data_plane_valid;
+          Alcotest.test_case "fingerprints unique" `Quick test_fingerprints_unique;
+          Alcotest.test_case "peering path" `Quick test_peering_path_exists;
+          Alcotest.test_case "shortcut path" `Quick test_shortcut_path_exists;
+          Alcotest.test_case "on-path destination" `Quick test_onpath_destination;
+          Alcotest.test_case "multihomed diversity" `Quick test_multihomed_leaf_diversity;
+          Alcotest.test_case "cross-ISD" `Quick test_cross_isd;
+          Alcotest.test_case "reply path" `Quick test_reply_path;
+          Alcotest.test_case "tampered mac rejected" `Quick test_tampered_mac_rejected;
+          Alcotest.test_case "expired hops rejected" `Quick test_expired_hops_rejected;
+          Alcotest.test_case "link failure prunes" `Quick test_link_failure_prunes_paths;
+          Alcotest.test_case "leaf isolation" `Quick test_leaf_isolation;
+          Alcotest.test_case "cert renewal" `Quick test_cert_renewal;
+          Alcotest.test_case "mixed profiles" `Quick test_mixed_profiles_interoperate;
+          Alcotest.test_case "pcb verify tamper" `Quick test_pcb_verify_rejects_tamper;
+          Alcotest.test_case "disjointness metric" `Quick test_disjointness_metric;
+        ] );
+      ("beacon_store", [ Alcotest.test_case "policy" `Quick test_beacon_store_policy ]);
+      ("property", [ QCheck_alcotest.to_alcotest qcheck_random_topology_paths_valid ]);
+    ]

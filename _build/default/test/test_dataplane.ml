@@ -1,0 +1,277 @@
+open Scion_dataplane
+module Ia = Scion_addr.Ia
+module Ipv4 = Scion_addr.Ipv4
+
+let key = Fwkey.of_master_secret "test-as-secret"
+let cmac = Fwkey.cmac_key key
+let ts = 1_700_000_000l
+
+let mk_hop ?(exp_time = 255) ~ingress ~egress ~seg_id () =
+  let proto = { Path.exp_time; cons_ingress = ingress; cons_egress = egress; mac = String.make 6 '\x00' } in
+  let mac = Path.compute_mac cmac ~seg_id ~timestamp:ts proto in
+  { proto with Path.mac }
+
+(* A chained construction-direction segment: each hop MAC'd with the folded
+   beta, like beaconing does. *)
+let mk_segment ?(cons_dir = true) ?(peer = false) ~seg_id specs =
+  let hops, _ =
+    List.fold_left
+      (fun (acc, beta) (ingress, egress) ->
+        let hop = mk_hop ~ingress ~egress ~seg_id:beta () in
+        (hop :: acc, Path.chain_seg_id ~seg_id:beta ~mac:hop.Path.mac))
+      ([], seg_id) specs
+  in
+  let hops = List.rev hops in
+  let info = { Path.cons_dir; peer; seg_id; timestamp = ts } in
+  (info, hops)
+
+let test_path_roundtrip () =
+  let info, hops = mk_segment ~seg_id:0x1234 [ (0, 5); (7, 9); (2, 0) ] in
+  let p = Path.create [ (info, hops) ] in
+  let p' = Path.decode (Path.encode p) in
+  Alcotest.(check int) "curr_inf" p.Path.curr_inf p'.Path.curr_inf;
+  Alcotest.(check int) "hops" (Path.num_hops p) (Path.num_hops p');
+  Alcotest.(check string) "re-encode equal" (Path.encode p) (Path.encode p');
+  Alcotest.(check int) "encoded length" (4 + 8 + (3 * 12)) (String.length (Path.encode p));
+  Alcotest.(check int) "encoded_length fn" (String.length (Path.encode p)) (Path.encoded_length p)
+
+let test_path_multi_segment_roundtrip () =
+  let s1 = mk_segment ~cons_dir:false ~seg_id:1 [ (0, 1); (2, 0) ] in
+  let s2 = mk_segment ~seg_id:2 [ (0, 3); (4, 5); (6, 0) ] in
+  let s3 = mk_segment ~seg_id:3 [ (0, 7); (8, 0) ] in
+  let p = Path.create [ s1; s2; s3 ] in
+  Path.advance p;
+  Path.advance p;
+  let p' = Path.decode (Path.encode p) in
+  Alcotest.(check int) "curr_hf preserved" 2 p'.Path.curr_hf;
+  Alcotest.(check int) "curr_inf preserved" 1 p'.Path.curr_inf;
+  Alcotest.(check (array int)) "seg lens" [| 2; 3; 2 |] (Path.seg_lens p')
+
+let test_path_create_invalid () =
+  let seg = mk_segment ~seg_id:1 [ (0, 1) ] in
+  let raises f = try ignore (f ()); false with Path.Malformed _ -> true in
+  Alcotest.(check bool) "no segments" true (raises (fun () -> Path.create []));
+  Alcotest.(check bool) "four segments" true (raises (fun () -> Path.create [ seg; seg; seg; seg ]));
+  let info, _ = seg in
+  Alcotest.(check bool) "empty segment" true (raises (fun () -> Path.create [ (info, []) ]))
+
+let test_path_decode_garbage () =
+  let raises s = try ignore (Path.decode s); false with Path.Malformed _ -> true in
+  Alcotest.(check bool) "empty" true (raises "");
+  Alcotest.(check bool) "short" true (raises "\x00\x01");
+  Alcotest.(check bool) "zero seg0" true (raises (String.make 40 '\x00'))
+
+let test_advance_and_bounds () =
+  let s1 = mk_segment ~seg_id:1 [ (0, 1); (2, 0) ] in
+  let s2 = mk_segment ~seg_id:2 [ (0, 3); (4, 0) ] in
+  let p = Path.create [ s1; s2 ] in
+  Alcotest.(check bool) "seg first" true (Path.curr_is_seg_first p);
+  Alcotest.(check bool) "not seg last" false (Path.curr_is_seg_last p);
+  Path.advance p;
+  Alcotest.(check bool) "seg last" true (Path.curr_is_seg_last p);
+  Path.advance p;
+  Alcotest.(check int) "crossed into segment 1" 1 p.Path.curr_inf;
+  Alcotest.(check bool) "first of second" true (Path.curr_is_seg_first p);
+  Path.advance p;
+  Alcotest.(check bool) "at last hop" true (Path.at_last_hop p);
+  Alcotest.check_raises "advance past end" (Path.Malformed "advance past last hop") (fun () ->
+      Path.advance p)
+
+let test_hop_expiry () =
+  let info = { Path.cons_dir = true; peer = false; seg_id = 0; timestamp = ts } in
+  let hop = mk_hop ~ingress:0 ~egress:1 ~seg_id:0 () in
+  let expiry = Path.hop_expiry info hop in
+  Alcotest.(check (float 1.0)) "max exp_time = 24h" (Int32.to_float ts +. 86400.0) expiry;
+  let short_hop = { hop with Path.exp_time = 0 } in
+  Alcotest.(check (float 1.0)) "min exp_time = 337.5s"
+    (Int32.to_float ts +. 337.5)
+    (Path.hop_expiry info short_hop)
+
+let test_mac_chain () =
+  let beta0 = 0xBEEF in
+  let h0 = mk_hop ~ingress:0 ~egress:1 ~seg_id:beta0 () in
+  let beta1 = Path.chain_seg_id ~seg_id:beta0 ~mac:h0.Path.mac in
+  Alcotest.(check bool) "beta changes" true (beta0 <> beta1);
+  Alcotest.(check int) "chain is xor involution" beta0 (Path.chain_seg_id ~seg_id:beta1 ~mac:h0.Path.mac);
+  let recomputed = Path.compute_mac cmac ~seg_id:beta0 ~timestamp:ts h0 in
+  Alcotest.(check string) "deterministic" h0.Path.mac recomputed;
+  let other = Path.compute_mac cmac ~seg_id:beta1 ~timestamp:ts h0 in
+  Alcotest.(check bool) "beta affects mac" true (other <> h0.Path.mac)
+
+let test_reverse () =
+  let s1 = mk_segment ~cons_dir:false ~seg_id:1 [ (0, 1); (2, 3) ] in
+  let s2 = mk_segment ~cons_dir:true ~seg_id:2 [ (0, 4); (5, 0) ] in
+  let p = Path.create [ s1; s2 ] in
+  let r = Path.reverse p in
+  Alcotest.(check int) "same hops" (Path.num_hops p) (Path.num_hops r);
+  Alcotest.(check (array int)) "lens reversed" [| 2; 2 |] (Path.seg_lens r);
+  (* The reversed path starts with the old last segment (C=1), flipped. *)
+  Alcotest.(check bool) "first info flipped" false (Path.current_info r).Path.cons_dir;
+  Alcotest.(check int) "positioned at start" 0 r.Path.curr_hf;
+  let rr = Path.reverse r in
+  Alcotest.(check string) "double reverse" (Path.encode p) (Path.encode rr)
+
+(* --- Packet --- *)
+
+let ia = Ia.of_string
+
+let sample_packet () =
+  let info, hops = mk_segment ~seg_id:9 [ (0, 1); (2, 0) ] in
+  Packet.make ~proto:Packet.Udp ~flow_id:0xABCDE ~traffic_class:3
+    ~src:(ia "71-559", Packet.Ipv4 (Ipv4.of_string "192.168.1.7"))
+    ~dst:(ia "71-2:0:3b", Packet.Service Packet.svc_cs)
+    ~path:(Packet.Standard (Path.create [ (info, hops) ]))
+    "hello scion"
+
+let test_packet_roundtrip () =
+  let pkt = sample_packet () in
+  let pkt' = Packet.decode (Packet.encode pkt) in
+  Alcotest.(check string) "payload" pkt.Packet.payload pkt'.Packet.payload;
+  Alcotest.(check int) "flow id" pkt.Packet.flow_id pkt'.Packet.flow_id;
+  Alcotest.(check int) "traffic class" pkt.Packet.traffic_class pkt'.Packet.traffic_class;
+  Alcotest.(check bool) "dst ia" true (Ia.equal pkt.Packet.dst_ia pkt'.Packet.dst_ia);
+  Alcotest.(check bool) "src host" true (Packet.host_equal pkt.Packet.src_host pkt'.Packet.src_host);
+  Alcotest.(check bool) "dst host svc" true
+    (Packet.host_equal pkt'.Packet.dst_host (Packet.Service Packet.svc_cs));
+  Alcotest.(check string) "stable encoding" (Packet.encode pkt) (Packet.encode pkt')
+
+let test_packet_empty_path () =
+  let pkt =
+    Packet.make ~proto:Packet.Scmp
+      ~src:(ia "71-88", Packet.Ipv4 (Ipv4.of_string "10.0.0.1"))
+      ~dst:(ia "71-88", Packet.Ipv4 (Ipv4.of_string "10.0.0.2"))
+      ~path:Packet.Empty "x"
+  in
+  let pkt' = Packet.decode (Packet.encode pkt) in
+  Alcotest.(check bool) "empty path" true (pkt'.Packet.path = Packet.Empty)
+
+let test_packet_garbage () =
+  let raises s = try ignore (Packet.decode s); false with Packet.Malformed _ -> true in
+  Alcotest.(check bool) "empty" true (raises "");
+  Alcotest.(check bool) "random" true (raises "this is not a scion packet at all")
+
+let test_udp_roundtrip () =
+  let d = { Packet.Udp.src_port = 30041; dst_port = 443; data = "payload" } in
+  let d' = Packet.Udp.decode (Packet.Udp.encode d) in
+  Alcotest.(check int) "src" 30041 d'.Packet.Udp.src_port;
+  Alcotest.(check int) "dst" 443 d'.Packet.Udp.dst_port;
+  Alcotest.(check string) "data" "payload" d'.Packet.Udp.data
+
+let test_scmp_roundtrip () =
+  let check m =
+    match Scmp.decode (Scmp.encode m) with
+    | Ok m' -> Alcotest.(check bool) "roundtrip" true (m = m')
+    | Error e -> Alcotest.fail e
+  in
+  check (Scmp.Echo_request { id = 7; seq = 42; data = "probe" });
+  check (Scmp.Echo_reply { id = 7; seq = 42; data = "probe" });
+  check Scmp.Destination_unreachable;
+  check (Scmp.External_interface_down { ia = ia "71-2:0:3b"; ifid = 5 });
+  check Scmp.Expired_hop_field;
+  check Scmp.Invalid_hop_field_mac
+
+let test_scmp_garbage () =
+  (match Scmp.decode "" with Ok _ -> Alcotest.fail "accepted empty" | Error _ -> ());
+  match Scmp.decode "\xFF\xFF\x00\x00" with
+  | Ok _ -> Alcotest.fail "accepted unknown type"
+  | Error _ -> ()
+
+(* --- Router: single-AS behaviours (multi-AS flows are in the mesh tests) --- *)
+
+let local_ia = ia "1-10"
+let neighbor_ia = ia "1-2:0:1"
+
+let mk_router () =
+  Router.create ~ia:local_ia ~key
+    ~ifaces:[ { Router.ifid = 1; remote_ia = neighbor_ia; remote_ifid = 7 } ]
+
+let test_router_empty_path_delivery () =
+  let r = mk_router () in
+  let pkt =
+    Packet.make ~proto:Packet.Udp
+      ~src:(local_ia, Packet.Ipv4 (Ipv4.of_string "10.0.0.1"))
+      ~dst:(local_ia, Packet.Ipv4 (Ipv4.of_string "10.0.0.2"))
+      ~path:Packet.Empty "intra"
+  in
+  (match Router.process r ~now:0.0 ~ingress:0 pkt with
+  | Router.Deliver _ -> ()
+  | _ -> Alcotest.fail "expected delivery");
+  let foreign = { pkt with Packet.dst_ia = neighbor_ia } in
+  match Router.process r ~now:0.0 ~ingress:0 foreign with
+  | Router.Drop Router.Not_for_us -> ()
+  | _ -> Alcotest.fail "expected Not_for_us"
+
+let test_router_duplicate_iface () =
+  let iface = { Router.ifid = 1; remote_ia = neighbor_ia; remote_ifid = 7 } in
+  (try
+     ignore (Router.create ~ia:local_ia ~key ~ifaces:[ iface; iface ]);
+     Alcotest.fail "accepted duplicate"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Router.create ~ia:local_ia ~key
+         ~ifaces:[ { Router.ifid = 0; remote_ia = neighbor_ia; remote_ifid = 7 } ]);
+    Alcotest.fail "accepted ifid 0"
+  with Invalid_argument _ -> ()
+
+let test_router_iface_state () =
+  let r = mk_router () in
+  Alcotest.(check bool) "default up" true (Router.interface_up r 1);
+  Router.set_interface_state r 1 ~up:false;
+  Alcotest.(check bool) "down" false (Router.interface_up r 1);
+  Router.set_interface_state r 1 ~up:true;
+  Alcotest.(check bool) "up again" true (Router.interface_up r 1)
+
+let qcheck_path_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* nsegs = 1 -- 3 in
+      let* lens = list_repeat nsegs (1 -- 6) in
+      let* seg_ids = list_repeat nsegs (0 -- 0xFFFF) in
+      let* dirs = list_repeat nsegs bool in
+      return (List.combine (List.combine lens seg_ids) dirs))
+  in
+  QCheck.Test.make ~name:"path encode/decode roundtrip" ~count:200 (QCheck.make gen) (fun spec ->
+      let segments =
+        List.map
+          (fun ((len, seg_id), dir) ->
+            mk_segment ~cons_dir:dir ~seg_id (List.init len (fun i -> (i, i + 1))))
+          spec
+      in
+      let p = Path.create segments in
+      Path.encode (Path.decode (Path.encode p)) = Path.encode p)
+
+let () =
+  Alcotest.run "scion_dataplane"
+    [
+      ( "path",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_path_roundtrip;
+          Alcotest.test_case "multi-segment roundtrip" `Quick test_path_multi_segment_roundtrip;
+          Alcotest.test_case "create invalid" `Quick test_path_create_invalid;
+          Alcotest.test_case "decode garbage" `Quick test_path_decode_garbage;
+          Alcotest.test_case "advance and bounds" `Quick test_advance_and_bounds;
+          Alcotest.test_case "hop expiry" `Quick test_hop_expiry;
+          Alcotest.test_case "mac chain" `Quick test_mac_chain;
+          Alcotest.test_case "reverse" `Quick test_reverse;
+          QCheck_alcotest.to_alcotest qcheck_path_roundtrip;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_packet_roundtrip;
+          Alcotest.test_case "empty path" `Quick test_packet_empty_path;
+          Alcotest.test_case "garbage" `Quick test_packet_garbage;
+          Alcotest.test_case "udp" `Quick test_udp_roundtrip;
+        ] );
+      ( "scmp",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_scmp_roundtrip;
+          Alcotest.test_case "garbage" `Quick test_scmp_garbage;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "empty path delivery" `Quick test_router_empty_path_delivery;
+          Alcotest.test_case "duplicate iface" `Quick test_router_duplicate_iface;
+          Alcotest.test_case "iface state" `Quick test_router_iface_state;
+        ] );
+    ]

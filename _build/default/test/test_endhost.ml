@@ -1,0 +1,514 @@
+open Scion_endhost
+module Ia = Scion_addr.Ia
+module Schnorr = Scion_crypto.Schnorr
+
+(* --- Hints / Table 2 --- *)
+
+let env ?(static = false) ?(dhcp = false) ?(dhcpv6 = false) ?(ras = false) ?(dns = false) () =
+  { Hints.static_ips_only = static; dhcp; dhcpv6; ipv6_ras = ras; dns_search_domain = dns }
+
+let test_hints_table2 () =
+  let check m e expect =
+    Alcotest.(check string) (Hints.name m)
+      expect
+      (match Hints.available m e with
+      | Hints.Available -> "Y"
+      | Hints.Combined -> "M"
+      | Hints.Not_applicable -> "N")
+  in
+  (* DHCP column *)
+  let dhcp = env ~dhcp:true () in
+  check Hints.Dhcp_vivo dhcp "Y";
+  check Hints.Dhcpv6_vsio dhcp "N";
+  check Hints.Dns_srv dhcp "M";
+  check Hints.Mdns dhcp "M";
+  (* static column *)
+  let static = env ~static:true () in
+  check Hints.Dhcp_vivo static "N";
+  check Hints.Mdns static "Y";
+  (* dns column *)
+  let dns = env ~dns:true () in
+  check Hints.Dns_srv dns "Y";
+  check Hints.Dns_naptr dns "Y";
+  check Hints.Dhcp_option72 dns "N"
+
+let test_hints_preferred_order () =
+  let e = env ~dhcp:true ~dns:true () in
+  let order = Hints.preferred_order e in
+  Alcotest.(check bool) "non-empty" true (order <> []);
+  (* All Available mechanisms come before any Combined ones. *)
+  let availability = List.map (fun m -> Hints.available m e) order in
+  let rec check_sorted seen_combined = function
+    | [] -> true
+    | Hints.Available :: _ when seen_combined -> false
+    | Hints.Available :: rest -> check_sorted false rest
+    | Hints.Combined :: rest -> check_sorted true rest
+    | Hints.Not_applicable :: _ -> false
+  in
+  Alcotest.(check bool) "available first, no N/A" true (check_sorted false availability)
+
+(* --- Bootstrap --- *)
+
+let mk_server () =
+  let signer, pub = Schnorr.derive ~seed:"test-as" in
+  let topology =
+    Bootstrap.sign_topology ~ia:(Ia.of_string "71-2:0:42")
+      ~border_routers:[ Scion_addr.Ipv4.endpoint_of_string "10.0.0.2:30042" ]
+      ~control_service:(Scion_addr.Ipv4.endpoint_of_string "10.0.0.3:30252")
+      ~signer
+  in
+  let root_priv, root_pub = Schnorr.derive ~seed:"test-root" in
+  let trc =
+    Scion_cppki.Trc.sign_base ~isd:71 ~validity:(0.0, 4e9)
+      ~core_ases:[ Ia.of_string "71-20965" ]
+      ~ca_ases:[ Ia.of_string "71-20965" ]
+      ~quorum:1
+      ~roots:[ ("r", root_priv, root_pub) ]
+  in
+  ( { Bootstrap.endpoint = Scion_addr.Ipv4.endpoint_of_string "192.168.1.1:8041"; topology; trcs = [ trc ] },
+    pub )
+
+let rng () = Scion_util.Rng.create 5L
+
+let test_bootstrap_success () =
+  let server, key = mk_server () in
+  match
+    Bootstrap.run ~rng:(rng ()) ~os:Bootstrap.Linux ~env:(env ~dhcp:true ())
+      ~server:(Some server) ~as_cert_key:key ()
+  with
+  | Ok (topo, trc, timing) ->
+      Alcotest.(check bool) "topology ia" true
+        (Ia.equal topo.Bootstrap.ia (Ia.of_string "71-2:0:42"));
+      Alcotest.(check int) "trc isd" 71 trc.Scion_cppki.Trc.isd;
+      Alcotest.(check bool) "total = hint + config" true
+        (abs_float (timing.Bootstrap.total_ms -. timing.Bootstrap.hint_ms -. timing.Bootstrap.config_ms) < 1e-9);
+      Alcotest.(check bool) "used a DHCP mechanism" true
+        (timing.Bootstrap.mechanism = Hints.Dhcp_vivo || timing.Bootstrap.mechanism = Hints.Dhcp_option72)
+  | Error e -> Alcotest.fail (Bootstrap.error_to_string e)
+
+let test_bootstrap_errors () =
+  let server, key = mk_server () in
+  (* No mechanism available. *)
+  (match
+     Bootstrap.run ~rng:(rng ()) ~os:Bootstrap.Linux ~env:(env ()) ~server:(Some server)
+       ~as_cert_key:key ()
+   with
+  | Error Bootstrap.No_hint_available -> ()
+  | _ -> Alcotest.fail "expected No_hint_available");
+  (* No server. *)
+  (match
+     Bootstrap.run ~rng:(rng ()) ~os:Bootstrap.Linux ~env:(env ~dhcp:true ()) ~server:None
+       ~as_cert_key:key ()
+   with
+  | Error Bootstrap.Server_unreachable -> ()
+  | _ -> Alcotest.fail "expected Server_unreachable");
+  (* Wrong signing key on the topology. *)
+  let _, wrong = Schnorr.derive ~seed:"other" in
+  (match
+     Bootstrap.run ~rng:(rng ()) ~os:Bootstrap.Linux ~env:(env ~dhcp:true ())
+       ~server:(Some server) ~as_cert_key:wrong ()
+   with
+  | Error Bootstrap.Topology_signature_invalid -> ()
+  | _ -> Alcotest.fail "expected Topology_signature_invalid");
+  (* Broken TRC chain: serial gap. *)
+  let bad = { server with Bootstrap.trcs = [ { (List.hd server.Bootstrap.trcs) with Scion_cppki.Trc.serial = 2 } ] } in
+  match
+    Bootstrap.run ~rng:(rng ()) ~os:Bootstrap.Linux ~env:(env ~dhcp:true ()) ~server:(Some bad)
+      ~as_cert_key:key ()
+  with
+  | Error (Bootstrap.Trc_chain_invalid _) -> ()
+  | _ -> Alcotest.fail "expected Trc_chain_invalid"
+
+let test_bootstrap_latency_model () =
+  let r = rng () in
+  (* NDP hints read cached RAs and must be fast; mDNS multicasts and waits. *)
+  let avg mech os =
+    let xs = Array.init 200 (fun _ -> Bootstrap.hint_latency_ms ~rng:r ~os mech) in
+    Scion_util.Stats.mean xs
+  in
+  Alcotest.(check bool) "ndp < mdns" true
+    (avg Hints.Ipv6_ndp_ra Bootstrap.Linux < avg Hints.Mdns Bootstrap.Linux);
+  Alcotest.(check bool) "linux < windows" true
+    (avg Hints.Dns_srv Bootstrap.Linux < avg Hints.Dns_srv Bootstrap.Windows)
+
+let test_topology_tamper () =
+  let server, key = mk_server () in
+  let t = server.Bootstrap.topology in
+  Alcotest.(check bool) "genuine verifies" true (Bootstrap.verify_topology t ~key);
+  let tampered = { t with Bootstrap.ia = Ia.of_string "71-666" } in
+  Alcotest.(check bool) "tamper rejected" false (Bootstrap.verify_topology tampered ~key)
+
+(* --- Daemon --- *)
+
+let dummy_path () : Scion_controlplane.Combinator.fullpath =
+  {
+    Scion_controlplane.Combinator.src = Ia.of_string "71-1";
+    dst = Ia.of_string "71-2";
+    segments = [];
+    interfaces = [];
+    expiry = 1000.0;
+    mtu = 1472;
+    fingerprint = "fp";
+  }
+
+let test_daemon_cache () =
+  let calls = ref 0 in
+  let fetch ~dst =
+    ignore dst;
+    incr calls;
+    [ dummy_path () ]
+  in
+  let d = Daemon.create ~ia:(Ia.of_string "71-1") ~fetch ~cache_ttl:100.0 ~expiry_margin:10.0 () in
+  let dst = Ia.of_string "71-2" in
+  let _, src1 = Daemon.lookup d ~now:0.0 ~dst in
+  Alcotest.(check bool) "first fetch" true (src1 = Daemon.Fetched);
+  let _, src2 = Daemon.lookup d ~now:50.0 ~dst in
+  Alcotest.(check bool) "cache hit" true (src2 = Daemon.From_cache);
+  Alcotest.(check int) "one backend call" 1 !calls;
+  (* TTL expiry triggers refetch. *)
+  let _, src3 = Daemon.lookup d ~now:200.0 ~dst in
+  Alcotest.(check bool) "refetch after ttl" true (src3 = Daemon.Fetched);
+  Alcotest.(check int) "two backend calls" 2 !calls;
+  Alcotest.(check int) "hits" 1 (Daemon.hits d);
+  Alcotest.(check int) "misses" 2 (Daemon.misses d);
+  (* Paths expiring within the margin are filtered and force a refetch. *)
+  let paths, _ = Daemon.lookup d ~now:995.0 ~dst in
+  Alcotest.(check int) "near-expiry filtered" 0 (List.length paths);
+  Daemon.flush d;
+  Alcotest.(check int) "flushed" 0 (Daemon.cache_entries d)
+
+let test_daemon_trc_store () =
+  let d = Daemon.create ~ia:(Ia.of_string "71-1") ~fetch:(fun ~dst -> ignore dst; []) () in
+  let root_priv, root_pub = Schnorr.derive ~seed:"r" in
+  let mk serial =
+    let base =
+      Scion_cppki.Trc.sign_base ~isd:71 ~validity:(0.0, 1e9) ~core_ases:[] ~ca_ases:[] ~quorum:1
+        ~roots:[ ("r", root_priv, root_pub) ]
+    in
+    { base with Scion_cppki.Trc.serial }
+  in
+  Daemon.store_trc d (mk 2);
+  Daemon.store_trc d (mk 1);
+  (match Daemon.trc_for d ~isd:71 with
+  | Some t -> Alcotest.(check int) "keeps latest" 2 t.Scion_cppki.Trc.serial
+  | None -> Alcotest.fail "missing trc");
+  Alcotest.(check bool) "unknown isd" true (Daemon.trc_for d ~isd:64 = None)
+
+(* --- Pan --- *)
+
+let fp ~hops ~mtu ~expiry ~fprint : Scion_controlplane.Combinator.fullpath =
+  {
+    Scion_controlplane.Combinator.src = Ia.of_string "71-1";
+    dst = Ia.of_string "71-9";
+    segments = [];
+    interfaces =
+      List.map
+        (fun (ia_s, i, e) -> { Scion_addr.Hop_pred.ia = Ia.of_string ia_s; ingress = i; egress = e })
+        hops;
+    expiry;
+    mtu;
+    fingerprint = fprint;
+  }
+
+let p1 = fp ~hops:[ ("71-1", 0, 1); ("71-5", 1, 2); ("71-9", 3, 0) ] ~mtu:1400 ~expiry:100.0 ~fprint:"a"
+let p2 = fp ~hops:[ ("71-1", 0, 2); ("71-9", 4, 0) ] ~mtu:1300 ~expiry:200.0 ~fprint:"b"
+let p3 =
+  fp ~hops:[ ("71-1", 0, 3); ("64-559", 1, 2); ("71-9", 5, 0) ] ~mtu:1500 ~expiry:50.0 ~fprint:"c"
+
+let test_pan_policy_parsing () =
+  (match Pan.policy_of_options ~sequence:"71-1 * 71-9" ~preference:"latency,hops" () with
+  | Ok p ->
+      Alcotest.(check bool) "sequence set" true (p.Pan.sequence <> None);
+      Alcotest.(check int) "two prefs" 2 (List.length p.Pan.preferences)
+  | Error e -> Alcotest.fail e);
+  (match Pan.policy_of_options ~preference:"bogus" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bogus preference");
+  match Pan.policy_of_options ~sequence:"71-x" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bogus sequence"
+
+let test_pan_filter_sequence () =
+  let policy =
+    match Pan.policy_of_options ~sequence:"71-1 71-5 71-9" () with Ok p -> p | Error e -> Alcotest.fail e
+  in
+  let kept = Pan.filter_paths policy [ p1; p2; p3 ] in
+  Alcotest.(check int) "only p1" 1 (List.length kept);
+  Alcotest.(check string) "p1 fingerprint" "a"
+    (List.hd kept).Scion_controlplane.Combinator.fingerprint
+
+let test_pan_deny_transit () =
+  let policy = { Pan.default_policy with Pan.deny_transit = Ia.Set.singleton (Ia.of_string "64-559") } in
+  let kept = Pan.filter_paths policy [ p1; p2; p3 ] in
+  Alcotest.(check int) "p3 dropped" 2 (List.length kept)
+
+let test_pan_sorting () =
+  let latency_of p = match p.Scion_controlplane.Combinator.fingerprint with
+    | "a" -> 50.0
+    | "b" -> 80.0
+    | _ -> 20.0
+  in
+  let by pref =
+    List.map
+      (fun p -> p.Scion_controlplane.Combinator.fingerprint)
+      (Pan.sort_paths { Pan.default_policy with Pan.preferences = [ pref ] } ~latency_of [ p1; p2; p3 ])
+  in
+  Alcotest.(check (list string)) "latency" [ "c"; "a"; "b" ] (by Pan.Latency);
+  Alcotest.(check (list string)) "hops" [ "b"; "a"; "c" ] (by Pan.Hops);
+  Alcotest.(check (list string)) "mtu" [ "c"; "a"; "b" ] (by Pan.Mtu);
+  Alcotest.(check (list string)) "expiry" [ "b"; "a"; "c" ] (by Pan.Expiry)
+
+let test_pan_modes () =
+  Alcotest.(check string) "daemon" "daemon-dependent"
+    (Pan.mode_to_string (Pan.choose_mode ~daemon_available:true ~bootstrapper_available:true));
+  Alcotest.(check string) "bootstrapper" "bootstrapper-dependent"
+    (Pan.mode_to_string (Pan.choose_mode ~daemon_available:false ~bootstrapper_available:true));
+  Alcotest.(check string) "standalone" "standalone"
+    (Pan.mode_to_string (Pan.choose_mode ~daemon_available:false ~bootstrapper_available:false))
+
+let test_conn_failover () =
+  (* A transport where p2 (preferred by hops) is dead but p1 works. *)
+  let transport p ~payload =
+    ignore payload;
+    if p.Scion_controlplane.Combinator.fingerprint = "b" then Pan.Conn.Send_failed
+    else Pan.Conn.Sent { rtt_ms = 42.0 }
+  in
+  let conn =
+    match
+      Pan.Conn.dial ~policy:Pan.default_policy ~latency_of:(fun _ -> 1.0) ~transport
+        ~paths:[ p1; p2 ]
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "starts on p2 (fewest hops)" "b"
+    (Pan.Conn.current_path conn).Scion_controlplane.Combinator.fingerprint;
+  (match Pan.Conn.send conn ~payload:"x" with
+  | Pan.Conn.Sent { rtt_ms } -> Alcotest.(check (float 1e-9)) "rtt" 42.0 rtt_ms
+  | Pan.Conn.Send_failed -> Alcotest.fail "failover did not save the send");
+  Alcotest.(check int) "one failover" 1 (Pan.Conn.failovers conn);
+  Alcotest.(check string) "now on p1" "a"
+    (Pan.Conn.current_path conn).Scion_controlplane.Combinator.fingerprint;
+  (* Exhausting all paths surfaces the failure. *)
+  let dead_transport _ ~payload = ignore payload; Pan.Conn.Send_failed in
+  let conn2 =
+    match
+      Pan.Conn.dial ~policy:Pan.default_policy ~latency_of:(fun _ -> 1.0)
+        ~transport:dead_transport ~paths:[ p1; p2 ]
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  (match Pan.Conn.send conn2 ~payload:"x" with
+  | Pan.Conn.Send_failed -> ()
+  | Pan.Conn.Sent _ -> Alcotest.fail "dead transport delivered");
+  match Pan.Conn.dial ~policy:Pan.default_policy ~latency_of:(fun _ -> 1.0) ~transport ~paths:[] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dial with no paths succeeded"
+
+(* --- Dispatcher --- *)
+
+let test_dispatcher () =
+  let d = Dispatcher.create () in
+  (match Dispatcher.register d ~port:40001 ~app:"a" with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Dispatcher.register d ~port:40001 ~app:"b" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "port conflict accepted");
+  Alcotest.(check int) "registered" 1 (Dispatcher.registered d);
+  (match Dispatcher.dispatch d ~dst_port:40001 ~payload:"x" with
+  | Dispatcher.Delivered p -> Alcotest.(check string) "payload" "x" p
+  | Dispatcher.No_listener -> Alcotest.fail "lost packet");
+  (match Dispatcher.dispatch d ~dst_port:9 ~payload:"x" with
+  | Dispatcher.No_listener -> ()
+  | Dispatcher.Delivered _ -> Alcotest.fail "phantom listener");
+  Dispatcher.unregister d ~port:40001;
+  Alcotest.(check int) "unregistered" 0 (Dispatcher.registered d);
+  Alcotest.(check int) "counted" 2 (Dispatcher.packets_dispatched d);
+  (* RSS model: dispatcherless scales with cores, dispatcher does not. *)
+  let disp c = Dispatcher.model_throughput ~mode:`Dispatcher ~cores:c ~per_packet_us:1.0 ~dispatcher_overhead_us:2.0 in
+  let free c = Dispatcher.model_throughput ~mode:`Dispatcherless ~cores:c ~per_packet_us:1.0 ~dispatcher_overhead_us:2.0 in
+  Alcotest.(check (float 1e-6)) "dispatcher flat" (disp 1) (disp 8);
+  Alcotest.(check bool) "dispatcherless scales" true (free 8 > 7.9 *. free 1);
+  Alcotest.(check bool) "dispatcherless wins even on 1 core" true (free 1 > disp 1)
+
+(* --- Happy Eyeballs --- *)
+
+let cand f a ms = { Happy_eyeballs.family = f; available = a; connect_ms = ms }
+
+let test_happy_eyeballs () =
+  (* SCION preferred and available: wins despite slower connect than v4. *)
+  let o =
+    Happy_eyeballs.race
+      [ cand Happy_eyeballs.Scion true 100.0; cand Happy_eyeballs.Ipv4 true 20.0;
+        cand Happy_eyeballs.Ipv6 true 30.0 ]
+  in
+  Alcotest.(check bool) "scion wins" true (o.Happy_eyeballs.winner = Some Happy_eyeballs.Scion);
+  (* SCION unavailable: IPv6 takes over after one stagger. *)
+  let o2 =
+    Happy_eyeballs.race
+      [ cand Happy_eyeballs.Scion false 0.0; cand Happy_eyeballs.Ipv6 true 30.0;
+        cand Happy_eyeballs.Ipv4 true 20.0 ]
+  in
+  Alcotest.(check bool) "v6 fallback" true (o2.Happy_eyeballs.winner = Some Happy_eyeballs.Ipv6);
+  Alcotest.(check (float 1e-9)) "stagger applied" 280.0 o2.Happy_eyeballs.established_ms;
+  (* Very slow SCION loses the race to a staggered IPv6. *)
+  let o3 =
+    Happy_eyeballs.race
+      [ cand Happy_eyeballs.Scion true 600.0; cand Happy_eyeballs.Ipv6 true 30.0;
+        cand Happy_eyeballs.Ipv4 true 20.0 ]
+  in
+  Alcotest.(check bool) "slow scion loses" true (o3.Happy_eyeballs.winner = Some Happy_eyeballs.Ipv6);
+  (* Nothing available. *)
+  let o4 = Happy_eyeballs.race [ cand Happy_eyeballs.Scion false 0.0 ] in
+  Alcotest.(check bool) "no winner" true (o4.Happy_eyeballs.winner = None);
+  (* Custom preference: v4 first. *)
+  let o5 =
+    Happy_eyeballs.race ~preference:[ Happy_eyeballs.Ipv4 ]
+      [ cand Happy_eyeballs.Scion true 10.0; cand Happy_eyeballs.Ipv4 true 20.0 ]
+  in
+  Alcotest.(check bool) "v4 preferred" true (o5.Happy_eyeballs.winner = Some Happy_eyeballs.Ipv4)
+
+(* --- SIG --- *)
+
+let test_sig_routing () =
+  let g = Sig.create ~local_ia:(Ia.of_string "71-559") in
+  Sig.add_route g ~prefix:(Scion_addr.Ipv4.of_string "10.1.0.0") ~bits:16 ~remote:(Ia.of_string "64-559");
+  Sig.add_route g ~prefix:(Scion_addr.Ipv4.of_string "10.1.2.0") ~bits:24 ~remote:(Ia.of_string "64-2:0:9");
+  (* Longest prefix wins. *)
+  (match Sig.route g (Scion_addr.Ipv4.of_string "10.1.2.7") with
+  | Some r -> Alcotest.(check string) "lpm" "64-2:0:9" (Ia.to_string r)
+  | None -> Alcotest.fail "no route");
+  (match Sig.route g (Scion_addr.Ipv4.of_string "10.1.9.1") with
+  | Some r -> Alcotest.(check string) "covering /16" "64-559" (Ia.to_string r)
+  | None -> Alcotest.fail "no route");
+  Alcotest.(check bool) "miss" true (Sig.route g (Scion_addr.Ipv4.of_string "8.8.8.8") = None);
+  Alcotest.(check int) "two routes" 2 (List.length (Sig.routes g));
+  (try
+     Sig.add_route g ~prefix:(Scion_addr.Ipv4.of_string "10.0.0.0") ~bits:40 ~remote:(Ia.of_string "64-559");
+     Alcotest.fail "bad prefix accepted"
+   with Invalid_argument _ -> ());
+  try
+    Sig.add_route g ~prefix:(Scion_addr.Ipv4.of_string "10.0.0.0") ~bits:8 ~remote:(Ia.of_string "71-559");
+    Alcotest.fail "self route accepted"
+  with Invalid_argument _ -> ()
+
+let test_sig_frame_roundtrip () =
+  let f = { Sig.session = 3; seq = 42; inner = "raw ip packet bytes" } in
+  (match Sig.decode_frame (Sig.encode_frame f) with
+  | Ok f' ->
+      Alcotest.(check int) "session" 3 f'.Sig.session;
+      Alcotest.(check int) "seq" 42 f'.Sig.seq;
+      Alcotest.(check string) "inner" "raw ip packet bytes" f'.Sig.inner
+  | Error e -> Alcotest.fail e);
+  (match Sig.decode_frame "garbage" with Error _ -> () | Ok _ -> Alcotest.fail "accepted garbage");
+  match Sig.decode_frame "NOPE\x00\x01\x00\x00\x00\x00\x00\x00" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad magic"
+
+let test_sig_tunnel_and_failover () =
+  let g = Sig.create ~local_ia:(Ia.of_string "71-559") in
+  let remote = Ia.of_string "64-2:0:9" in
+  Sig.add_route g ~prefix:(Scion_addr.Ipv4.of_string "192.168.0.0") ~bits:16 ~remote;
+  (* No paths installed yet. *)
+  (match Sig.send_ip g ~dst_ip:(Scion_addr.Ipv4.of_string "192.168.1.1") ~packet:"p0"
+           ~try_path:(fun _ -> true)
+   with
+  | Sig.No_path -> ()
+  | _ -> Alcotest.fail "expected No_path");
+  Sig.set_paths g ~remote [ p1; p2 ];
+  (* p1 dead: the session fails over to p2 transparently. *)
+  let try_path p = p.Scion_controlplane.Combinator.fingerprint <> "a" in
+  (match Sig.send_ip g ~dst_ip:(Scion_addr.Ipv4.of_string "192.168.1.1") ~packet:"payload"
+           ~try_path
+   with
+  | Sig.Tunnelled { remote = r; path; frame; failovers } ->
+      Alcotest.(check bool) "right remote" true (Ia.equal r remote);
+      Alcotest.(check string) "on p2" "b" path.Scion_controlplane.Combinator.fingerprint;
+      Alcotest.(check int) "one failover" 1 failovers;
+      (* The far-end gateway decapsulates the original IP bytes. *)
+      (match Sig.receive_frame g frame with
+      | Ok inner -> Alcotest.(check string) "decapsulated" "payload" inner
+      | Error e -> Alcotest.fail e);
+      (* A replayed frame is rejected. *)
+      (match Sig.receive_frame g frame with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "replay accepted")
+  | Sig.No_route -> Alcotest.fail "no route"
+  | Sig.No_path -> Alcotest.fail "no path");
+  (* Unrouted destinations. *)
+  (match Sig.send_ip g ~dst_ip:(Scion_addr.Ipv4.of_string "1.2.3.4") ~packet:"x"
+           ~try_path:(fun _ -> true)
+   with
+  | Sig.No_route -> ()
+  | _ -> Alcotest.fail "expected No_route");
+  Alcotest.(check int) "one session" 1 (List.length (Sig.sessions g))
+
+let test_sig_sequence_monotone () =
+  let g = Sig.create ~local_ia:(Ia.of_string "71-559") in
+  let remote = Ia.of_string "64-559" in
+  Sig.add_route g ~prefix:(Scion_addr.Ipv4.of_string "10.0.0.0") ~bits:8 ~remote;
+  Sig.set_paths g ~remote [ p1 ];
+  let send i =
+    match
+      Sig.send_ip g ~dst_ip:(Scion_addr.Ipv4.of_string "10.0.0.1")
+        ~packet:(Printf.sprintf "pkt%d" i) ~try_path:(fun _ -> true)
+    with
+    | Sig.Tunnelled { frame; _ } -> frame
+    | _ -> Alcotest.fail "send failed"
+  in
+  let frames = List.map send [ 1; 2; 3 ] in
+  let seqs =
+    List.map
+      (fun f -> match Sig.decode_frame f with Ok d -> d.Sig.seq | Error e -> Alcotest.fail e)
+      frames
+  in
+  Alcotest.(check (list int)) "monotone sequence" [ 0; 1; 2 ] seqs
+
+let qcheck_sig_frame_roundtrip =
+  QCheck.Test.make ~name:"sig frame roundtrip" ~count:200
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 1_000_000) (string_of_size (QCheck.Gen.int_range 0 2000)))
+    (fun (session, seq, inner) ->
+      match Sig.decode_frame (Sig.encode_frame { Sig.session; seq; inner }) with
+      | Ok f -> f.Sig.session = session && f.Sig.seq = seq && f.Sig.inner = inner
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "scion_endhost"
+    [
+      ( "hints",
+        [
+          Alcotest.test_case "table 2 matrix" `Quick test_hints_table2;
+          Alcotest.test_case "preferred order" `Quick test_hints_preferred_order;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "success" `Quick test_bootstrap_success;
+          Alcotest.test_case "errors" `Quick test_bootstrap_errors;
+          Alcotest.test_case "latency model" `Quick test_bootstrap_latency_model;
+          Alcotest.test_case "topology tamper" `Quick test_topology_tamper;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "cache" `Quick test_daemon_cache;
+          Alcotest.test_case "trc store" `Quick test_daemon_trc_store;
+        ] );
+      ( "pan",
+        [
+          Alcotest.test_case "policy parsing" `Quick test_pan_policy_parsing;
+          Alcotest.test_case "filter sequence" `Quick test_pan_filter_sequence;
+          Alcotest.test_case "deny transit" `Quick test_pan_deny_transit;
+          Alcotest.test_case "sorting" `Quick test_pan_sorting;
+          Alcotest.test_case "modes" `Quick test_pan_modes;
+          Alcotest.test_case "conn failover" `Quick test_conn_failover;
+        ] );
+      ("dispatcher", [ Alcotest.test_case "demux + model" `Quick test_dispatcher ]);
+      ("happy_eyeballs", [ Alcotest.test_case "race" `Quick test_happy_eyeballs ]);
+      ( "sig",
+        [
+          Alcotest.test_case "routing" `Quick test_sig_routing;
+          Alcotest.test_case "frame roundtrip" `Quick test_sig_frame_roundtrip;
+          Alcotest.test_case "tunnel and failover" `Quick test_sig_tunnel_and_failover;
+          Alcotest.test_case "sequence monotone" `Quick test_sig_sequence_monotone;
+          QCheck_alcotest.to_alcotest qcheck_sig_frame_roundtrip;
+        ] );
+    ]

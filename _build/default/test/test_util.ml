@@ -1,0 +1,208 @@
+open Scion_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_labels_differ () =
+  let a = Rng.of_label 1L "alpha" and b = Rng.of_label 1L "beta" in
+  Alcotest.(check bool) "different streams" true (Rng.next a <> Rng.next b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs" true (Rng.next a <> Rng.next b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 4L in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 5L in
+  let xs = Array.init 20000 (fun _ -> Rng.gaussian r ~mean:10.0 ~stddev:2.0) in
+  let m = Stats.mean xs in
+  let s = Stats.stddev xs in
+  Alcotest.(check bool) "mean close" true (abs_float (m -. 10.0) < 0.1);
+  Alcotest.(check bool) "stddev close" true (abs_float (s -. 2.0) < 0.1)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 6L in
+  let xs = Array.init 20000 (fun _ -> Rng.exponential r ~rate:0.5) in
+  Alcotest.(check bool) "mean close to 2" true (abs_float (Stats.mean xs -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 8L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 Fun.id) sorted
+
+let test_stats_mean_stddev () =
+  check_float "mean" 3.0 (Stats.mean [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "stddev" (sqrt 2.0) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p50" 3.0 (Stats.percentile xs 50.0);
+  check_float "p100" 5.0 (Stats.percentile xs 100.0);
+  check_float "p25" 2.0 (Stats.percentile xs 25.0);
+  check_float "interpolated" 1.4 (Stats.percentile xs 10.0)
+
+let test_stats_single_sample () =
+  check_float "p90 of singleton" 7.0 (Stats.percentile [| 7.0 |] 90.0)
+
+let test_stats_cdf () =
+  let c = Stats.cdf [| 1.0; 2.0; 2.0; 4.0 |] in
+  Alcotest.(check int) "dedup points" 3 (List.length c);
+  check_float "P(<=2)" 0.75 (Stats.cdf_at c 2.0);
+  check_float "P(<=0)" 0.0 (Stats.cdf_at c 0.5);
+  check_float "P(<=4)" 1.0 (Stats.cdf_at c 4.0);
+  check_float "inverse 0.5" 2.0 (Stats.cdf_inverse c 0.5);
+  check_float "inverse 1.0" 4.0 (Stats.cdf_inverse c 1.0)
+
+let test_stats_resample () =
+  let c = Stats.cdf (Array.init 1000 float_of_int) in
+  let r = Stats.resample_cdf c 11 in
+  Alcotest.(check int) "11 points" 11 (List.length r);
+  check_float "keeps last fraction" 1.0 (snd (List.nth r 10))
+
+let test_stats_boxplot () =
+  let xs = Array.init 101 float_of_int in
+  let b = Stats.boxplot xs in
+  check_float "median" 50.0 b.Stats.med;
+  check_float "q1" 25.0 b.Stats.q1;
+  check_float "q3" 75.0 b.Stats.q3;
+  check_float "low whisker" 5.0 b.Stats.low_whisker;
+  check_float "high whisker" 95.0 b.Stats.high_whisker
+
+let test_stats_histogram () =
+  let h = Stats.histogram [| 0.0; 0.5; 1.0; 1.5; 2.0 |] ~bins:2 in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  Alcotest.(check int) "total preserved" 5 (Array.fold_left (fun a (_, c) -> a + c) 0 h)
+
+let test_rw_roundtrip () =
+  let w = Rw.Writer.create () in
+  Rw.Writer.u8 w 0xAB;
+  Rw.Writer.u16 w 0x1234;
+  Rw.Writer.u32 w 0xDEADBEEFl;
+  Rw.Writer.u64 w 0x0123456789ABCDEFL;
+  Rw.Writer.raw w "hello";
+  let r = Rw.Reader.of_string (Rw.Writer.contents w) in
+  Alcotest.(check int) "u8" 0xAB (Rw.Reader.u8 r);
+  Alcotest.(check int) "u16" 0x1234 (Rw.Reader.u16 r);
+  Alcotest.(check int32) "u32" 0xDEADBEEFl (Rw.Reader.u32 r);
+  Alcotest.(check int64) "u64" 0x0123456789ABCDEFL (Rw.Reader.u64 r);
+  Alcotest.(check string) "raw" "hello" (Rw.Reader.raw r 5);
+  Rw.Reader.expect_end r
+
+let test_rw_truncated () =
+  let r = Rw.Reader.of_string "\x01" in
+  Alcotest.(check int) "u8 ok" 1 (Rw.Reader.u8 r);
+  Alcotest.check_raises "u8 past end" Rw.Truncated (fun () -> ignore (Rw.Reader.u8 r))
+
+let test_rw_expect_end_fails () =
+  let r = Rw.Reader.of_string "xy" in
+  Alcotest.check_raises "leftover" Rw.Truncated (fun () -> Rw.Reader.expect_end r)
+
+let test_hex_roundtrip () =
+  Alcotest.(check string) "encode" "00ff10" (Hex.encode "\x00\xff\x10");
+  Alcotest.(check string) "decode" "\x00\xff\x10" (Hex.decode "00ff10");
+  Alcotest.(check string) "decode upper" "\xAB" (Hex.decode "AB");
+  Alcotest.(check string) "whitespace ok" "\xAB\xCD" (Hex.decode "ab cd")
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd" (Invalid_argument "Hex.decode: odd digit count") (fun () ->
+      ignore (Hex.decode "abc"))
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "contains rule" true (String.length s > 0);
+  Alcotest.(check int) "4 lines" 4 (List.length (String.split_on_char '\n' (String.trim s)))
+
+let qcheck_rw_u64 =
+  QCheck.Test.make ~name:"rw u64 roundtrip" ~count:200 QCheck.int64 (fun v ->
+      let w = Rw.Writer.create () in
+      Rw.Writer.u64 w v;
+      Rw.Reader.u64 (Rw.Reader.of_string (Rw.Writer.contents w)) = v)
+
+let qcheck_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200 QCheck.string (fun s ->
+      Hex.decode (Hex.encode s) = s)
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let lo, hi = Stats.min_max arr in
+      let v = Stats.percentile arr p in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let qcheck_cdf_monotone =
+  QCheck.Test.make ~name:"cdf monotone" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let c = Stats.cdf (Array.of_list xs) in
+      let rec mono = function
+        | (v1, f1) :: ((v2, f2) :: _ as rest) -> v1 < v2 && f1 < f2 && mono rest
+        | _ -> true
+      in
+      mono c && snd (List.nth c (List.length c - 1)) = 1.0)
+
+let () =
+  Alcotest.run "scion_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "labels differ" `Quick test_rng_labels_differ;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "single sample" `Quick test_stats_single_sample;
+          Alcotest.test_case "cdf" `Quick test_stats_cdf;
+          Alcotest.test_case "resample" `Quick test_stats_resample;
+          Alcotest.test_case "boxplot" `Quick test_stats_boxplot;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+          QCheck_alcotest.to_alcotest qcheck_cdf_monotone;
+        ] );
+      ( "rw",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rw_roundtrip;
+          Alcotest.test_case "truncated" `Quick test_rw_truncated;
+          Alcotest.test_case "expect_end" `Quick test_rw_expect_end_fails;
+          QCheck_alcotest.to_alcotest qcheck_rw_u64;
+        ] );
+      ( "hex",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "invalid" `Quick test_hex_invalid;
+          QCheck_alcotest.to_alcotest qcheck_hex_roundtrip;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+    ]
