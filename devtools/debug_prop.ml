@@ -13,9 +13,14 @@ let run_case (n_cores1, n_cores2, n_leaves1, n_leaves2, seed) verbose =
   let cores1, leaves1 = mk_ias 1 n_cores1 n_leaves1 in
   let cores2, leaves2 = mk_ias 2 n_cores2 n_leaves2 in
   let all_cores = cores1 @ cores2 in
+  let ca1, ca2 =
+    match (cores1, cores2) with
+    | c1 :: _, c2 :: _ -> (c1, c2)
+    | _ -> invalid_arg "debug_prop: each ISD needs at least one core AS"
+  in
   let specs =
-    List.map (fun i -> spec ~core:true ~ca:true i) [ List.hd cores1; List.hd cores2 ]
-    @ List.map (fun i -> spec ~core:true i) (List.filter (fun c -> not (Ia.equal c (List.hd cores1)) && not (Ia.equal c (List.hd cores2))) all_cores)
+    List.map (fun i -> spec ~core:true ~ca:true i) [ ca1; ca2 ]
+    @ List.map (fun i -> spec ~core:true i) (List.filter (fun c -> not (Ia.equal c ca1) && not (Ia.equal c ca2)) all_cores)
     @ List.map (fun i -> spec i) (leaves1 @ leaves2) in
   let core_links =
     let rec pairs = function a :: (b :: _ as rest) -> link ~cls:Mesh.Core_link a b :: pairs rest | _ -> [] in

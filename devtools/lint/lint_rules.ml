@@ -1,0 +1,268 @@
+(* The six scion-lint rules. Each is a [Lint.rule]; the engine runs every
+   rule whose [scope] accepts the (repo-relative) file being linted.
+
+   The invariants enforced here are the ones the SCIERA reproduction's
+   evaluation depends on: the discrete-event simulation must be bit-for-bit
+   reproducible from its seed, so no wall-clock reads, no ambient
+   randomness, no hash-order-dependent iteration in simulation-visible
+   code, and no partial functions that can crash an experiment half-way
+   through the measurement window. *)
+
+open Lint
+
+let in_dir prefix file =
+  let n = String.length prefix in
+  String.length file > n && String.sub file 0 n = prefix
+
+(* ------------------------------------------------------------------ *)
+(* R1: determinism. *)
+
+let nondet_clock = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let hash_order_idents =
+  [ "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys"; "Hashtbl.to_seq_values" ]
+
+let determinism =
+  {
+    no_hooks with
+    id = "determinism";
+    severity = Error;
+    doc =
+      "Bans wall-clock reads (Unix.gettimeofday, Unix.time, Sys.time) and ambient randomness \
+       (Random.*) everywhere, and hash-order-dependent iteration (Hashtbl.iter/fold/to_seq*) \
+       inside lib/ where iteration order can leak into event scheduling or experiment output. \
+       Use simulated time, Scion_util.Rng, and Scion_util.Table.iter_sorted/fold_sorted.";
+    (* Scion_util.Rng is the one sanctioned randomness source. *)
+    scope = (fun file -> file <> "lib/util/rng.ml");
+    on_expr =
+      Some
+        (fun ctx emit e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> (
+              let name = dotted txt in
+              if List.mem name nondet_clock then
+                emit loc
+                  (Printf.sprintf
+                     "%s reads the wall clock and breaks simulation reproducibility; thread the \
+                      simulated time (Netsim.Engine.now) instead"
+                     name)
+              else
+                match flatten_longident txt with
+                | "Random" :: _ :: _ ->
+                    emit loc
+                      (name
+                       ^ " is ambient, unseeded randomness; draw from an explicitly seeded \
+                          Scion_util.Rng.t so runs are reproducible")
+                | _ ->
+                    if List.mem name hash_order_idents && in_dir "lib/" ctx.file then
+                      emit loc
+                        (name
+                         ^ " visits bindings in nondeterministic hash order; use \
+                            Scion_util.Table.iter_sorted / fold_sorted (or sort the keys first)"))
+          | _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R2: totality. *)
+
+let partial_fns =
+  [
+    ("List.hd", "pattern-match on the list (or use a guarded match with a clear error)");
+    ("List.tl", "pattern-match on the list (or use a guarded match with a clear error)");
+    ("Option.get", "pattern-match, or use Option.value ~default");
+    ("Hashtbl.find", "use Hashtbl.find_opt, Scion_util.Table.find_or ~default, or match with a clear error");
+  ]
+
+let totality =
+  {
+    no_hooks with
+    id = "totality";
+    severity = Error;
+    doc =
+      "Flags partial functions (List.hd, List.tl, Option.get, Hashtbl.find) that raise on \
+       empty/missing input; prefer the _opt variants or an explicit pattern match so failures \
+       carry a useful error instead of crashing an experiment mid-run.";
+    on_expr =
+      Some
+        (fun _ctx emit e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> (
+              match List.assoc_opt (dotted txt) partial_fns with
+              | Some hint -> emit loc (Printf.sprintf "%s is partial; %s" (dotted txt) hint)
+              | None -> ())
+          | _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R3: exception hygiene. *)
+
+let exception_hygiene =
+  {
+    no_hooks with
+    id = "catch-all-exn";
+    severity = Error;
+    doc =
+      "Flags catch-all exception handlers ('with _ ->', 'exception _ ->') that silently \
+       swallow every failure, including programming errors; match the specific exceptions you \
+       expect, or bind and re-raise.";
+    on_expr =
+      Some
+        (fun _ctx emit e ->
+          let flag_case (c : Parsetree.case) =
+            match (c.pc_lhs.ppat_desc, c.pc_guard) with
+            | Ppat_any, None ->
+                emit c.pc_lhs.ppat_loc
+                  "catch-all 'with _ ->' swallows every exception (including bugs); match the \
+                   specific exceptions you expect, or bind the exception and re-raise"
+            | _ -> ()
+          in
+          match e.pexp_desc with
+          | Pexp_try (_, cases) -> List.iter flag_case cases
+          | Pexp_match (_, cases) ->
+              List.iter
+                (fun (c : Parsetree.case) ->
+                  match (c.pc_lhs.ppat_desc, c.pc_guard) with
+                  | Ppat_exception { ppat_desc = Ppat_any; ppat_loc; _ }, None ->
+                      emit ppat_loc
+                        "catch-all 'exception _ ->' swallows every exception (including bugs); \
+                         match the specific exceptions you expect"
+                  | _ -> ())
+                cases
+          | _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R4: float discipline. *)
+
+let float_arith = [ "+."; "-."; "*."; "/."; "**" ]
+
+let floatish_name last =
+  let has_suffix s suf =
+    let n = String.length s and m = String.length suf in
+    n >= m && String.sub s (n - m) m = suf
+  in
+  List.mem last [ "time"; "now"; "rtt"; "day"; "expiry"; "timestamp"; "deadline"; "latency"; "jitter" ]
+  || List.exists (has_suffix last) [ "_s"; "_ms"; "_time"; "_rtt"; "_day"; "_expiry" ]
+
+let floatish (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match flatten_longident txt with
+      | [ op ] -> List.mem op float_arith
+      | "Float" :: _ -> true
+      | _ -> false)
+  | Pexp_field (_, { txt; _ }) -> (
+      match List.rev (flatten_longident txt) with last :: _ -> floatish_name last | [] -> false)
+  | Pexp_ident { txt = Longident.Lident name; _ } -> floatish_name name
+  | _ -> false
+
+let float_discipline =
+  {
+    no_hooks with
+    id = "float-eq";
+    severity = Warn;
+    doc =
+      "Flags polymorphic =/<> where an operand is syntactically a float (float literal, float \
+       arithmetic, Float.* call, or a field/variable named like a simulated time: time, now, \
+       day, rtt, *_s, *_ms, ...). Exact float equality on simulated time is usually a bug; \
+       compare with an epsilon, or use Float.equal to make exact intent explicit.";
+    on_expr =
+      Some
+        (fun _ctx emit e ->
+          match e.pexp_desc with
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+                [ (Nolabel, a); (Nolabel, b) ] )
+            when floatish a || floatish b ->
+              emit e.pexp_loc
+                (Printf.sprintf
+                   "polymorphic %s on a float-typed operand; exact float equality on simulated \
+                    time is fragile — compare with an epsilon, or use Float.equal to make exact \
+                    intent explicit"
+                   op)
+          | _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R5: interface coverage. *)
+
+let interface_coverage =
+  {
+    no_hooks with
+    id = "missing-mli";
+    severity = Error;
+    doc =
+      "Every module under lib/ must have a corresponding .mli: interfaces are where invariants \
+       get documented, and they keep the simulator's internal mutation out of reach of the \
+       experiment code.";
+    on_tree =
+      Some
+        (fun ~files emit ->
+          List.iter
+            (fun f ->
+              if in_dir "lib/" f && Filename.check_suffix f ".ml" then
+                let mli = f ^ "i" in
+                if not (List.mem mli files) then
+                  emit ~file:f ~line:1
+                    (Printf.sprintf "module %s has no interface; add %s"
+                       (String.capitalize_ascii (Filename.remove_extension (Filename.basename f)))
+                       mli))
+            files);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R6: ignored results. *)
+
+let result_call ctx (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) when registry_mem ctx.registry txt ->
+      Some (dotted txt)
+  | Pexp_construct ({ txt = Longident.Lident (("Ok" | "Error") as c); _ }, Some _) -> Some c
+  | _ -> None
+
+let ignored_result =
+  {
+    no_hooks with
+    id = "ignored-result";
+    severity = Error;
+    doc =
+      "Flags 'ignore (...)' and 'let _ = ...' applied to an expression whose declared type is a \
+       result (per the tree's .mli files): discarding a result discards the error path. Match \
+       on Ok/Error, or log the Error explicitly.";
+    on_expr =
+      Some
+        (fun ctx emit e ->
+          match e.pexp_desc with
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Lident "ignore"; _ }; _ },
+                [ (Nolabel, arg) ] ) -> (
+              match result_call ctx arg with
+              | Some name ->
+                  emit e.pexp_loc
+                    (Printf.sprintf
+                       "ignore discards the result (and its error path) of %s; match on \
+                        Ok/Error instead"
+                       name)
+              | None -> ())
+          | _ -> ());
+    on_value_binding =
+      Some
+        (fun ctx emit (vb : Parsetree.value_binding) ->
+          match vb.pvb_pat.ppat_desc with
+          | Ppat_any -> (
+              match result_call ctx vb.pvb_expr with
+              | Some name ->
+                  emit vb.pvb_pat.ppat_loc
+                    (Printf.sprintf
+                       "'let _ =' discards the result (and its error path) of %s; match on \
+                        Ok/Error instead"
+                       name)
+              | None -> ())
+          | _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let rules : rule list =
+  [ determinism; totality; exception_hygiene; float_discipline; interface_coverage; ignored_result ]

@@ -1,0 +1,62 @@
+(* scion-lint CLI.
+
+   Usage: scion_lint [--root DIR] [--json] [--list-rules] [DIR ...]
+
+   Lints every .ml/.mli under the given directories (default: lib bin bench
+   examples devtools, relative to --root) and prints findings to stdout.
+   Exit status: 0 when no error-severity findings remain after suppression,
+   1 when errors were found, 2 on usage errors. *)
+
+module Lint = Scion_lint_lib.Lint
+module Lint_rules = Scion_lint_lib.Lint_rules
+
+let default_dirs = [ "lib"; "bin"; "bench"; "examples"; "devtools" ]
+
+let usage () =
+  prerr_endline "usage: scion_lint [--root DIR] [--json] [--list-rules] [DIR ...]";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun (r : Lint.rule) ->
+      Printf.printf "%-16s %-5s %s\n" r.Lint.id
+        (Lint.severity_to_string r.Lint.severity)
+        r.Lint.doc)
+    Lint_rules.rules
+
+let () =
+  let root = ref "." in
+  let json = ref false in
+  let dirs = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--root" :: dir :: rest ->
+        root := dir;
+        parse rest
+    | "--list-rules" :: _ ->
+        list_rules ();
+        exit 0
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | dir :: rest ->
+        dirs := dir :: !dirs;
+        parse rest
+  in
+  (match Array.to_list Sys.argv with [] -> () | _ :: args -> parse args);
+  let dirs =
+    match List.rev !dirs with
+    | [] -> List.filter (fun d -> Sys.file_exists (Filename.concat !root d)) default_dirs
+    | ds -> ds
+  in
+  let findings = Lint.lint_tree ~rules:Lint_rules.rules ~root:!root ~dirs in
+  if !json then print_string (Lint.report_json findings)
+  else begin
+    print_string (Lint.report_text findings);
+    Printf.eprintf "scion-lint: %d error(s), %d warning(s) across %s\n"
+      (Lint.count Lint.Error findings) (Lint.count Lint.Warn findings)
+      (String.concat " " dirs)
+  end;
+  exit (if Lint.has_errors findings then 1 else 0)

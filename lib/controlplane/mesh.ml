@@ -18,6 +18,13 @@ type as_spec = {
 
 type link_spec = { l_a : Ia.t; l_b : Ia.t; cls : link_class }
 
+(* Total lookup of the per-ISD CA; every AS spec is checked against its ISD
+   at mesh-construction time, so a miss is a construction bug. *)
+let ca_for cas isd =
+  match Hashtbl.find_opt cas isd with
+  | Some ca -> ca
+  | None -> invalid_arg (Printf.sprintf "Mesh: no CA for ISD %d" isd)
+
 type config = {
   seed : int64;
   per_origin : int;
@@ -151,9 +158,13 @@ let create ?(config = default_config) ~now ~ases ~links () =
     (fun isd ->
       let in_isd = List.filter (fun s -> s.spec_ia.Ia.isd = isd) ases in
       let cores = List.filter (fun s -> s.core) in_isd in
-      if cores = [] then invalid_arg (Printf.sprintf "Mesh.create: ISD %d has no core AS" isd);
+      let first_core =
+        match cores with
+        | c :: _ -> c
+        | [] -> invalid_arg (Printf.sprintf "Mesh.create: ISD %d has no core AS" isd)
+      in
       let ca_spec =
-        match List.find_opt (fun s -> s.ca) in_isd with Some s -> s | None -> List.hd cores
+        match List.find_opt (fun s -> s.ca) in_isd with Some s -> s | None -> first_core
       in
       let root_name = Printf.sprintf "root-%d" isd in
       let root_priv, root_pub =
@@ -188,7 +199,7 @@ let create ?(config = default_config) ~now ~ases ~links () =
       let signer, pubkey =
         Schnorr.derive ~seed:(Printf.sprintf "%s/as/%s" seed_str (Ia.to_string spec.spec_ia))
       in
-      let ca = Hashtbl.find cas spec.spec_ia.Ia.isd in
+      let ca = ca_for cas spec.spec_ia.Ia.isd in
       let cert = Ca.issue ca ~subject:spec.spec_ia ~pubkey ~profile:spec.profile ~now in
       Hashtbl.replace nodes spec.spec_ia
         {
@@ -260,7 +271,7 @@ let create ?(config = default_config) ~now ~ases ~links () =
   in
   let order = List.sort Ia.compare (List.map (fun s -> s.spec_ia) ases) in
   let routers = Hashtbl.create 64 in
-  Hashtbl.iter
+  Scion_util.Table.iter_sorted ~cmp:Ia.compare
     (fun ia (n : node) ->
       let ifaces =
         List.map
@@ -292,7 +303,7 @@ let renew_certificates t ~now =
     (fun ia ->
       let n = node t ia in
       if Ca.needs_renewal n.cert ~now || not (Cert.in_validity n.cert now) then begin
-        let ca = Hashtbl.find t.cas ia.Ia.isd in
+        let ca = ca_for t.cas ia.Ia.isd in
         let fresh =
           match Ca.renew ca ~current:n.cert ~pubkey:n.pubkey ~now with
           | Ok c -> c

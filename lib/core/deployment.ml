@@ -94,7 +94,7 @@ let scored_timeline =
   let counts = Hashtbl.create 8 in
   List.map
     (fun e ->
-      let n = 1 + (try Hashtbl.find counts e.kind with Not_found -> 0) in
+      let n = 1 + Scion_util.Table.find_or ~default:0 counts e.kind in
       Hashtbl.replace counts e.kind n;
       let curve = Float.pow (float_of_int n) (Float.log learning_rate /. Float.log 2.0) in
       let automation = if orchestrator_available e.date then 0.6 else 1.0 in

@@ -48,7 +48,7 @@ let run ?(days = Incidents.window_days) ?(config = Multiping.default_config) ?se
       | _ -> ())
     ds.Multiping.samples;
   let pair_ratios =
-    Hashtbl.fold
+    Scion_util.Table.fold_sorted
       (fun key (sc, ip, n) acc ->
         if n = 0 || ip <= 0.0 then acc
         else begin
@@ -80,7 +80,7 @@ let run ?(days = Incidents.window_days) ?(config = Multiping.default_config) ?se
       | _ -> ())
     ds.Multiping.samples;
   let per_bucket = Hashtbl.create 64 in
-  Hashtbl.iter
+  Scion_util.Table.iter_sorted
     (fun (bucket, _) (sc, ip, n) ->
       if n > 0 && ip > 0.0 then begin
         let existing = match Hashtbl.find_opt per_bucket bucket with Some l -> l | None -> [] in
@@ -88,7 +88,8 @@ let run ?(days = Incidents.window_days) ?(config = Multiping.default_config) ?se
       end)
     buckets;
   let timeseries =
-    Hashtbl.fold (fun bucket ratios acc -> (bucket, Stats.median (Array.of_list ratios)) :: acc)
+    Scion_util.Table.fold_sorted
+      (fun bucket ratios acc -> (bucket, Stats.median (Array.of_list ratios)) :: acc)
       per_bucket []
     |> List.sort compare
   in

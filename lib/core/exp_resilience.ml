@@ -13,6 +13,13 @@ type result = {
   runs : int;
 }
 
+(* Total lookup of an AS's graph node: every IA comes from Topology.ases,
+   which also populated the table, so a miss is a topology bug. *)
+let node_of nodes ia =
+  match Hashtbl.find_opt nodes ia with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Exp_resilience: unknown AS %s" (Ia.to_string ia))
+
 (* A fresh fabric graph from the topology (all links up, no incidents). *)
 let build_fabric rng =
   let net = Net.create ~rng in
@@ -25,8 +32,8 @@ let build_fabric rng =
     (fun (l : Topology.link_info) ->
       ignore
         (Net.add_link net
-           (Hashtbl.find nodes l.Topology.a)
-           (Hashtbl.find nodes l.Topology.b)
+           (node_of nodes l.Topology.a)
+           (node_of nodes l.Topology.b)
            { Net.default_params with Net.latency_ms = l.Topology.latency_ms }))
     Topology.links;
   (net, nodes)
@@ -51,7 +58,7 @@ let run ?(runs = 100) ?(seed = 0xF1C5EEDL) () =
     List.map
       (fun (a, b) ->
         match
-          Net.min_hop_route net0 ~src:(Hashtbl.find nodes0 a) ~dst:(Hashtbl.find nodes0 b)
+          Net.min_hop_route net0 ~src:(node_of nodes0 a) ~dst:(node_of nodes0 b)
         with
         | Some r -> r
         | None -> [])
@@ -76,7 +83,7 @@ let run ?(runs = 100) ?(seed = 0xF1C5EEDL) () =
         List.fold_left
           (fun acc (a, b) ->
             if
-              Net.connected net0 ~src:(Hashtbl.find nodes0 a) ~dst:(Hashtbl.find nodes0 b)
+              Net.connected net0 ~src:(node_of nodes0 a) ~dst:(node_of nodes0 b)
             then acc + 1
             else acc)
           0 pairs

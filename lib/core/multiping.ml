@@ -42,10 +42,10 @@ let default_config =
 let probe_paths net ~src ~dst =
   match Network.paths net ~src ~dst with
   | [] -> []
-  | ps ->
+  | (first :: _) as ps ->
       (* Paths come sorted by (hops, fingerprint): head is the shortest with
          the lowest identifier. *)
-      let shortest = List.hd ps in
+      let shortest = first in
       let fastest =
         List.fold_left
           (fun best p ->

@@ -27,6 +27,14 @@ let scion_fabric t = t.net
 let rng t = t.ip_rng
 let rebeacon_count t = t.rebeacons
 
+(* Total lookups into the graph-node tables. All keys come from
+   Topology.ases / Topology.ip_hubs, which also populate the tables, so a
+   miss is a topology bug and gets a clear error. *)
+let lookup what to_string tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Network: unknown %s %s" what (to_string key))
+
 let iface_key ia ifid = Ia.to_string ia ^ "#" ^ string_of_int ifid
 
 (* Which incident effects apply to a given topology link. *)
@@ -118,7 +126,9 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) () =
   List.iter
     (fun (l : Topology.link_info) ->
       ignore
-        (Net.add_link net (Hashtbl.find node l.Topology.a) (Hashtbl.find node l.Topology.b)
+        (Net.add_link net
+           (lookup "AS" Ia.to_string node l.Topology.a)
+           (lookup "AS" Ia.to_string node l.Topology.b)
            {
              (* Software border routers on commodity servers add per-hop
                 forwarding latency, and R&E circuits are not perfectly
@@ -138,7 +148,7 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) () =
   List.iter
     (fun (ha, hb, ms) ->
       ignore
-        (Net.add_link ip (Hashtbl.find iphub ha) (Hashtbl.find iphub hb)
+        (Net.add_link ip (lookup "hub" Fun.id iphub ha) (lookup "hub" Fun.id iphub hb)
            { Net.latency_ms = ms; jitter_ms = ms *. 0.16; loss = 0.0008; bandwidth_mbps = 100_000.0 }))
     Topology.ip_hub_links;
   List.iter
@@ -146,8 +156,8 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) () =
       let hub, ms = Topology.ip_access a.Topology.ia in
       ignore
         (Net.add_link ip
-           (Hashtbl.find ipnode a.Topology.ia)
-           (Hashtbl.find iphub hub)
+           (lookup "AS" Ia.to_string ipnode a.Topology.ia)
+           (lookup "hub" Fun.id iphub hub)
            { Net.latency_ms = ms; jitter_ms = Float.max 0.3 (ms *. 0.12); loss = 0.0003; bandwidth_mbps = 10_000.0 }))
     Topology.ases;
   let iface_link = Hashtbl.create 128 in
@@ -209,7 +219,8 @@ let scion_rtt_sample t fp = Net.path_rtt t.net (path_links t fp)
 let scion_rtt_base t fp = 2.0 *. Net.path_base_latency t.net (path_links t fp)
 
 let ip_route t ~src ~dst =
-  let a = Hashtbl.find t.ipnode src and b = Hashtbl.find t.ipnode dst in
+  let a = lookup "AS" Ia.to_string t.ipnode src
+  and b = lookup "AS" Ia.to_string t.ipnode dst in
   Net.min_hop_route t.ip ~src:a ~dst:b
 
 (* BGP path quality is heterogeneous: most pairs get a reasonable route,

@@ -74,9 +74,10 @@ let update ~prev ?rotate_roots ?core_ases ?ca_ases ~validity:(not_before, not_af
       signatures = [];
     }
   in
-  let unknown = List.filter (fun (name, _) -> find_root prev name = None) votes in
-  if unknown <> [] then Error (Printf.sprintf "voter %S is not a root of the previous TRC" (fst (List.hd unknown)))
-  else if List.length votes < prev.quorum then
+  match List.filter (fun (name, _) -> find_root prev name = None) votes with
+  | (name, _) :: _ -> Error (Printf.sprintf "voter %S is not a root of the previous TRC" name)
+  | [] ->
+  if List.length votes < prev.quorum then
     Error (Printf.sprintf "insufficient votes: %d < quorum %d" (List.length votes) prev.quorum)
   else begin
     let bytes = signed_bytes next in

@@ -33,7 +33,8 @@ let create ~ia ~key ~ifaces =
   }
 
 let ia t = t.ia
-let interfaces t = Hashtbl.fold (fun _ i acc -> i :: acc) t.ifaces []
+let interfaces t =
+  List.rev (Scion_util.Table.fold_sorted (fun _ i acc -> i :: acc) t.ifaces [])
 let interface t ifid = Hashtbl.find_opt t.ifaces ifid
 let set_interface_state t ifid ~up = Hashtbl.replace t.iface_state ifid up
 let interface_up t ifid = match Hashtbl.find_opt t.iface_state ifid with Some up -> up | None -> true

@@ -124,7 +124,7 @@ let receive_frame t frame =
   | Ok f -> (
       (* Locate the session by id across remotes. *)
       let session =
-        Hashtbl.fold
+        Scion_util.Table.fold_sorted
           (fun _ s acc -> if s.session_id = f.session then Some s else acc)
           t.session_by_remote None
       in
@@ -141,4 +141,7 @@ let receive_frame t frame =
           end)
 
 let sessions t =
-  Hashtbl.fold (fun remote s acc -> (remote, s.session_id, s.sent) :: acc) t.session_by_remote []
+  List.rev
+    (Scion_util.Table.fold_sorted
+       (fun remote s acc -> (remote, s.session_id, s.sent) :: acc)
+       t.session_by_remote [])

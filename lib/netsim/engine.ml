@@ -20,6 +20,7 @@ let create ?(start = 0.0) () =
 
 let now t = t.clock
 
+(* scion-lint: allow float-eq -- exact equality intended: same-timestamp events tie-break on seq *)
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let grow t =

@@ -1,3 +1,20 @@
+let sorted_keys ?(cmp = Stdlib.compare) t =
+  (* scion-lint: allow determinism -- keys are sorted before being exposed *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t [] in
+  List.sort_uniq cmp keys
+
+let iter_sorted ?cmp f t =
+  List.iter
+    (fun k -> match Hashtbl.find_opt t k with Some v -> f k v | None -> ())
+    (sorted_keys ?cmp t)
+
+let fold_sorted ?cmp f t init =
+  List.fold_left
+    (fun acc k -> match Hashtbl.find_opt t k with Some v -> f k v acc | None -> acc)
+    init (sorted_keys ?cmp t)
+
+let find_or ~default t k = match Hashtbl.find_opt t k with Some v -> v | None -> default
+
 let render ~header ~rows =
   let cols = List.length header in
   List.iter (fun r -> assert (List.length r = cols)) rows;

@@ -1,4 +1,33 @@
-(** Plain-text table rendering for the experiment harness output. *)
+(** Table helpers: deterministic hash-table iteration for the simulator, and
+    plain-text table rendering for the experiment harness output.
+
+    {1 Deterministic iteration}
+
+    [Hashtbl.iter]/[Hashtbl.fold] visit bindings in an order that depends on
+    the hash seed and insertion history, so any simulation-visible use of
+    them can leak nondeterminism into event scheduling and experiment
+    output. The helpers below visit the current bindings in ascending key
+    order instead; [scion-lint]'s [determinism] rule points offenders here. *)
+
+val sorted_keys : ?cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** [sorted_keys t] is the list of distinct keys of [t] in ascending order
+    (by [cmp], default {!Stdlib.compare}). *)
+
+val iter_sorted : ?cmp:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter_sorted f t] applies [f] to the current binding of every key of
+    [t], in ascending key order. Unlike [Hashtbl.iter] it visits each key
+    once, even when older shadowed bindings exist. *)
+
+val fold_sorted : ?cmp:('k -> 'k -> int) -> ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) Hashtbl.t -> 'acc -> 'acc
+(** [fold_sorted f t init] folds [f] over the current bindings of [t] in
+    ascending key order. Argument order matches [Hashtbl.fold] so it is a
+    drop-in replacement. *)
+
+val find_or : default:'v -> ('k, 'v) Hashtbl.t -> 'k -> 'v
+(** [find_or ~default t k] is the binding of [k], or [default] when [k] is
+    unbound — a total alternative to [Hashtbl.find]. *)
+
+(** {1 Text rendering} *)
 
 val render : header:string list -> rows:string list list -> string
 (** [render ~header ~rows] returns an aligned ASCII table. Every row must

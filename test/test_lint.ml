@@ -1,0 +1,228 @@
+(* Tests for scion-lint: each rule against small inline sources with known
+   violations and known-clean code, the suppression-comment mechanism, the
+   JSON reporter, and finally a sweep asserting the whole repo is clean. *)
+
+module Lint = Scion_lint_lib.Lint
+module Lint_rules = Scion_lint_lib.Lint_rules
+
+let rules = Lint_rules.rules
+
+let lint ?registry ?(file = "lib/netsim/fixture.ml") src =
+  Lint.lint_source ?registry ~rules ~file src
+
+let rule_ids findings = List.map (fun (f : Lint.finding) -> f.Lint.rule) findings
+
+let check_flags ~rule ?file src =
+  Alcotest.(check bool)
+    (Printf.sprintf "flags %s" rule)
+    true
+    (List.mem rule (rule_ids (lint ?file src)))
+
+let check_clean ?file src =
+  Alcotest.(check (list string)) "clean" [] (rule_ids (lint ?file src))
+
+(* --- R1: determinism ---------------------------------------------------- *)
+
+let test_determinism_clock () =
+  check_flags ~rule:"determinism" "let now () = Unix.gettimeofday ()";
+  check_flags ~rule:"determinism" "let t = Sys.time ()";
+  check_flags ~rule:"determinism" "let t = Unix.time ()";
+  check_clean "let now t = Engine.now t"
+
+let test_determinism_random () =
+  check_flags ~rule:"determinism" "let x = Random.int 10";
+  check_flags ~rule:"determinism" "let x = Random.State.bool st";
+  (* The sanctioned source is exempt wholesale. *)
+  Alcotest.(check (list string)) "rng.ml exempt" []
+    (rule_ids (lint ~file:"lib/util/rng.ml" "let x = Random.int 10"))
+
+let test_determinism_hash_order () =
+  check_flags ~rule:"determinism" "let xs t = Hashtbl.fold (fun k _ a -> k :: a) t []";
+  check_flags ~rule:"determinism" "let f t = Hashtbl.iter print t";
+  check_flags ~rule:"determinism" "let s t = Hashtbl.to_seq t";
+  (* Order-dependent iteration is only banned inside lib/. *)
+  Alcotest.(check (list string)) "bench exempt" []
+    (rule_ids (lint ~file:"bench/fixture.ml" "let f t = Hashtbl.iter print t"));
+  check_clean "let xs t = Scion_util.Table.fold_sorted (fun k _ a -> k :: a) t []"
+
+(* --- R2: totality ------------------------------------------------------- *)
+
+let test_totality () =
+  check_flags ~rule:"totality" "let f xs = List.hd xs";
+  check_flags ~rule:"totality" "let f xs = List.tl xs";
+  check_flags ~rule:"totality" "let f o = Option.get o";
+  check_flags ~rule:"totality" "let f t k = Hashtbl.find t k";
+  check_clean "let f t k = Hashtbl.find_opt t k";
+  check_clean "let f xs = match xs with x :: _ -> x | [] -> invalid_arg \"empty\""
+
+(* --- R3: exception hygiene ---------------------------------------------- *)
+
+let test_catch_all () =
+  check_flags ~rule:"catch-all-exn" "let f g = try g () with _ -> 0";
+  check_flags ~rule:"catch-all-exn" "let f g = match g () with x -> x | exception _ -> 0";
+  check_clean "let f g = try g () with Not_found -> 0";
+  (* Binding the exception (rather than wildcarding it) is allowed. *)
+  check_clean "let f g = try g () with e -> raise e"
+
+(* --- R4: float discipline ----------------------------------------------- *)
+
+let test_float_eq () =
+  check_flags ~rule:"float-eq" "let f x = x = 1.0";
+  check_flags ~rule:"float-eq" "let f a b = a.time = b.time";
+  check_flags ~rule:"float-eq" "let f x y = x <> y +. 1.0";
+  check_flags ~rule:"float-eq" "let f x now = x = now";
+  check_clean "let f x = x = 1";
+  check_clean "let f a b = Float.equal a.time b.time";
+  check_clean "let f a b = a.time < b.time"
+
+(* --- R5: interface coverage --------------------------------------------- *)
+
+let tree_rule_ids findings = List.map (fun (f : Lint.finding) -> (f.Lint.file, f.Lint.rule)) findings
+
+let with_temp_tree files k =
+  let root = Filename.temp_file "scion_lint_test" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote root))))
+    (fun () ->
+      List.iter
+        (fun (path, contents) ->
+          let rec ensure_dir d =
+            if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+              ensure_dir (Filename.dirname d);
+              Unix.mkdir d 0o755
+            end
+          in
+          let full = Filename.concat root path in
+          ensure_dir (Filename.dirname full);
+          Out_channel.with_open_bin full (fun oc -> Out_channel.output_string oc contents))
+        files;
+      k root)
+
+let test_missing_mli () =
+  with_temp_tree
+    [ ("lib/x/covered.ml", "let x = 1"); ("lib/x/covered.mli", "val x : int");
+      ("lib/x/naked.ml", "let y = 2"); ("bin/tool.ml", "let () = ()") ]
+    (fun root ->
+      let findings = Lint.lint_tree ~rules ~root ~dirs:[ "lib"; "bin" ] in
+      let pairs = tree_rule_ids findings in
+      Alcotest.(check bool) "naked.ml flagged" true (List.mem ("lib/x/naked.ml", "missing-mli") pairs);
+      Alcotest.(check bool) "covered.ml clean" false (List.mem ("lib/x/covered.ml", "missing-mli") pairs);
+      (* Executables outside lib/ need no interface. *)
+      Alcotest.(check bool) "bin exempt" false (List.mem ("bin/tool.ml", "missing-mli") pairs))
+
+(* --- R6: ignored results ------------------------------------------------ *)
+
+let test_ignored_result () =
+  (* Registry built from an .mli declaring a result-returning function. *)
+  with_temp_tree
+    [ ("lib/x/codec.ml", "let decode s = Ok s\nlet run () = ignore (decode \"x\")\n");
+      ("lib/x/codec.mli", "val decode : string -> (string, string) result\nval run : unit -> unit\n");
+      ("lib/x/user.ml", "let f () = ignore (Codec.decode \"y\")\nlet g () = let _ = Codec.decode \"z\" in ()\n");
+      ("lib/x/user.mli", "val f : unit -> unit\nval g : unit -> unit\n") ]
+    (fun root ->
+      let findings = Lint.lint_tree ~rules ~root ~dirs:[ "lib" ] in
+      let hits = List.filter (fun (f : Lint.finding) -> f.Lint.rule = "ignored-result") findings in
+      Alcotest.(check bool) "qualified ignore flagged" true
+        (List.exists (fun (f : Lint.finding) -> f.Lint.file = "lib/x/user.ml" && f.Lint.line = 1) hits);
+      Alcotest.(check bool) "let _ = flagged" true
+        (List.exists (fun (f : Lint.finding) -> f.Lint.file = "lib/x/user.ml" && f.Lint.line = 2) hits));
+  (* Direct Ok/Error constructs need no registry. *)
+  check_flags ~rule:"ignored-result" "let f x = ignore (Ok x)";
+  check_clean "let f x = ignore (x + 1)"
+
+(* --- Suppression, severity, reporters ----------------------------------- *)
+
+(* Directives are assembled by concatenation so the linter never mistakes
+   these test fixtures for suppressions of this file. *)
+let allow rule = Printf.sprintf "(* scion-lint%s allow %s -- test fixture *)" ":" rule
+
+let test_suppression () =
+  let src = Printf.sprintf "let f xs = List.hd xs %s\n" (allow "totality") in
+  Alcotest.(check (list string)) "same-line suppressed" [] (rule_ids (lint src));
+  let src = Printf.sprintf "%s\nlet f xs = List.hd xs\n" (allow "totality") in
+  Alcotest.(check (list string)) "line-above suppressed" [] (rule_ids (lint src));
+  let src = Printf.sprintf "%s\nlet f xs = List.hd xs\n" (allow "all") in
+  Alcotest.(check (list string)) "allow all" [] (rule_ids (lint src));
+  (* Suppressing one rule does not blanket the line. *)
+  let src = Printf.sprintf "let f t = Hashtbl.iter print t %s\n" (allow "totality") in
+  Alcotest.(check (list string)) "other rules still fire" [ "determinism" ] (rule_ids (lint src));
+  (* A suppression two lines up has no effect. *)
+  let src = Printf.sprintf "%s\n\nlet f xs = List.hd xs\n" (allow "totality") in
+  Alcotest.(check (list string)) "out of range" [ "totality" ] (rule_ids (lint src))
+
+let test_bad_directive () =
+  let src = Printf.sprintf "let x = 1 %s\n" (allow "no-such-rule") in
+  Alcotest.(check (list string)) "unknown rule id reported" [ "lint-directive" ] (rule_ids (lint src));
+  let src = "(* scion-lint" ^ ": frobnicate totality *)\nlet x = 1\n" in
+  Alcotest.(check (list string)) "malformed directive reported" [ "lint-directive" ]
+    (rule_ids (lint src));
+  (* Prose that merely mentions the marker mid-comment is not a directive. *)
+  let src = "(* see scion-lint" ^ ": the linter docs *)\nlet x = 1\n" in
+  Alcotest.(check (list string)) "prose mention ignored" [] (rule_ids (lint src))
+
+let test_severity_and_parse_error () =
+  let findings = lint "let f x = x = 1.0" in
+  Alcotest.(check bool) "float-eq is warn-severity" true
+    (List.exists (fun (f : Lint.finding) -> f.Lint.rule = "float-eq" && f.Lint.severity = Lint.Warn)
+       findings);
+  Alcotest.(check bool) "warnings do not fail the build" false (Lint.has_errors findings);
+  let findings = lint "let f = (" in
+  Alcotest.(check (list string)) "syntax error reported" [ "parse" ] (rule_ids findings);
+  Alcotest.(check bool) "parse errors fail the build" true (Lint.has_errors findings)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_json_reporter () =
+  let findings = lint "let f xs = List.hd xs" in
+  let json = Lint.report_json findings in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" needle) true (contains json needle))
+    [ {|"file":"lib/netsim/fixture.ml"|}; {|"line":1|}; {|"rule":"totality"|};
+      {|"severity":"error"|}; {|"message":"|} ]
+
+(* --- The repo itself must be lint-clean --------------------------------- *)
+
+let test_repo_clean () =
+  (* The test binary runs in _build/default/test; the tree one level up is
+     populated from the (source_tree ..) deps in test/dune. *)
+  let root = ".." in
+  let dirs =
+    List.filter
+      (fun d -> Sys.file_exists (Filename.concat root d))
+      [ "lib"; "bin"; "bench"; "examples"; "devtools" ]
+  in
+  Alcotest.(check bool) "source tree present" true (List.mem "lib" dirs);
+  let findings = Lint.lint_tree ~rules ~root ~dirs in
+  let errors = List.filter (fun (f : Lint.finding) -> f.Lint.severity = Lint.Error) findings in
+  Alcotest.(check (list string)) "repo is lint-clean"
+    [] (List.map Lint.to_text errors)
+
+let () =
+  Alcotest.run "scion_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "determinism: clock" `Quick test_determinism_clock;
+          Alcotest.test_case "determinism: random" `Quick test_determinism_random;
+          Alcotest.test_case "determinism: hash order" `Quick test_determinism_hash_order;
+          Alcotest.test_case "totality" `Quick test_totality;
+          Alcotest.test_case "catch-all-exn" `Quick test_catch_all;
+          Alcotest.test_case "float-eq" `Quick test_float_eq;
+          Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+          Alcotest.test_case "ignored-result" `Quick test_ignored_result;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "bad directives" `Quick test_bad_directive;
+          Alcotest.test_case "severity + parse errors" `Quick test_severity_and_parse_error;
+          Alcotest.test_case "json reporter" `Quick test_json_reporter;
+        ] );
+      ("repo", [ Alcotest.test_case "whole tree lint-clean" `Quick test_repo_clean ]);
+    ]

@@ -135,6 +135,40 @@ let test_table_render () =
   Alcotest.(check bool) "contains rule" true (String.length s > 0);
   Alcotest.(check int) "4 lines" 4 (List.length (String.split_on_char '\n' (String.trim s)))
 
+let test_table_sorted_iteration () =
+  let t = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) [ (3, "c"); (1, "a"); (2, "b") ];
+  Alcotest.(check (list int)) "sorted keys" [ 1; 2; 3 ] (Table.sorted_keys t);
+  let seen = ref [] in
+  Table.iter_sorted (fun k v -> seen := (k, v) :: !seen) t;
+  Alcotest.(check (list (pair int string)))
+    "iter ascending" [ (1, "a"); (2, "b"); (3, "c") ] (List.rev !seen);
+  Alcotest.(check (list int)) "fold ascending (cons reverses)" [ 3; 2; 1 ]
+    (Table.fold_sorted (fun k _ acc -> k :: acc) t []);
+  (* Hashtbl.add shadowing: only the current binding is visited, once. *)
+  Hashtbl.add t 2 "B";
+  Alcotest.(check (list int)) "shadowed key visited once" [ 1; 2; 3 ] (Table.sorted_keys t);
+  Alcotest.(check string) "current binding wins" "B"
+    (String.concat "" (Table.fold_sorted (fun k v acc -> if k = 2 then v :: acc else acc) t []));
+  let h = Hashtbl.create 4 in
+  Hashtbl.replace h "k" 42;
+  Alcotest.(check int) "find_or hit" 42 (Table.find_or ~default:0 h "k");
+  Alcotest.(check string) "find_or miss" "none" (Table.find_or ~default:"none" (Hashtbl.create 1) 7)
+
+let test_table_iter_matches_hashtbl () =
+  (* fold_sorted must see exactly the bindings Hashtbl holds, independent of
+     insertion order. *)
+  let rng = Rng.create 99L in
+  let t1 = Hashtbl.create 16 and t2 = Hashtbl.create 16 in
+  let keys = Array.init 50 (fun i -> i) in
+  Array.iter (fun k -> Hashtbl.replace t1 k (k * k)) keys;
+  Rng.shuffle rng keys;
+  Array.iter (fun k -> Hashtbl.replace t2 k (k * k)) keys;
+  Alcotest.(check (list (pair int int)))
+    "same sorted view regardless of insertion order"
+    (Table.fold_sorted (fun k v acc -> (k, v) :: acc) t1 [])
+    (Table.fold_sorted (fun k v acc -> (k, v) :: acc) t2 [])
+
 let qcheck_rw_u64 =
   QCheck.Test.make ~name:"rw u64 roundtrip" ~count:200 QCheck.int64 (fun v ->
       let w = Rw.Writer.create () in
@@ -204,5 +238,10 @@ let () =
           Alcotest.test_case "invalid" `Quick test_hex_invalid;
           QCheck_alcotest.to_alcotest qcheck_hex_roundtrip;
         ] );
-      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "sorted iteration" `Quick test_table_sorted_iteration;
+          Alcotest.test_case "insertion-order independent" `Quick test_table_iter_matches_hashtbl;
+        ] );
     ]
