@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- fig5      # one artefact
      dune exec bench/main.exe -- fast      # reduced-scale smoke run
      dune exec bench/main.exe -- micro     # microbenchmarks only
+     dune exec bench/main.exe -- micro --json   # also write BENCH_micro.json
    Artefacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10a
    fig10b fig10c app_effort survey isd_evolution micro *)
 
@@ -59,7 +60,12 @@ let multipath () =
 
 (* --- Microbenchmarks ----------------------------------------------------- *)
 
-let micro () =
+(* Stable machine-readable keys for BENCH_micro.json: one gauge per
+   microbenchmark, value in ns/op. Downstream tooling diffs these names, so
+   they must not change when the human-readable Bechamel titles do. *)
+let micro_json_path = "BENCH_micro.json"
+
+let micro ?(json = false) () =
   let open Bechamel in
   let fwkey = Scion_dataplane.Fwkey.of_master_secret "bench" in
   let cmac = Scion_dataplane.Fwkey.cmac_key fwkey in
@@ -76,6 +82,7 @@ let micro () =
   let router =
     Scion_dataplane.Router.create ~ia:(ia "71-10") ~key:fwkey
       ~ifaces:[ { Scion_dataplane.Router.ifid = 7; remote_ia = ia "71-11"; remote_ifid = 1 } ]
+      ()
   in
   let mk_packet () =
     let beta1 = Scion_dataplane.Path.chain_seg_id ~seg_id:7 ~mac:hop.Scion_dataplane.Path.mac in
@@ -110,41 +117,52 @@ let micro () =
   let payload = String.make 1000 'p' in
   let tests =
     [
-      Test.make ~name:"hop-field MAC (AES-CMAC)"
-        (Staged.stage (fun () ->
-             ignore (Scion_dataplane.Path.compute_mac cmac ~seg_id:7 ~timestamp:ts hop)));
-      Test.make ~name:"border-router forward (verify+advance)"
-        (Staged.stage (fun () ->
-             ignore
-               (Scion_dataplane.Router.process router ~now:(Int32.to_float ts) ~ingress:0
-                  (mk_packet ()))));
-      Test.make ~name:"packet encode"
-        (Staged.stage (fun () -> ignore (Scion_dataplane.Packet.encode sample_packet)));
-      Test.make ~name:"packet decode"
-        (Staged.stage (fun () -> ignore (Scion_dataplane.Packet.decode encoded)));
-      Test.make ~name:"schnorr sign (PCB entry)"
-        (Staged.stage (fun () -> ignore (Scion_crypto.Schnorr.sign priv "msg")));
-      Test.make ~name:"schnorr verify (PCB entry)"
-        (Staged.stage (fun () -> ignore (Scion_crypto.Schnorr.verify pub ~msg:"msg" ~signature)));
-      Test.make ~name:"dispatcher demux (shared port)"
-        (Staged.stage (fun () ->
-             ignore (Scion_endhost.Dispatcher.dispatch dispatcher ~dst_port:40001 ~payload)));
-      Test.make ~name:"dispatcherless delivery"
-        (Staged.stage (fun () ->
-             ignore (Scion_endhost.Dispatcher.Direct.deliver direct ~payload)));
-      Test.make ~name:"sha256 (1 KiB)"
-        (Staged.stage (fun () -> ignore (Scion_crypto.Sha256.digest payload)));
-      Test.make ~name:"lightningfilter check"
-        (let filter =
-           Sciera.Science_dmz.Filter.create ~local_secret:"s"
-             ~allowed:[ (ia "71-88", 1e9) ]
-             ()
-         in
-         let key = Sciera.Science_dmz.Filter.host_key filter ~peer:(ia "71-88") in
-         let tag = Sciera.Science_dmz.Filter.authenticate ~key ~payload in
-         Staged.stage (fun () ->
-             ignore
-               (Sciera.Science_dmz.Filter.check filter ~now:0.0 ~src:(ia "71-88") ~payload ~tag)));
+      ( "hop_field_mac_ns",
+        Test.make ~name:"hop-field MAC (AES-CMAC)"
+          (Staged.stage (fun () ->
+               ignore (Scion_dataplane.Path.compute_mac cmac ~seg_id:7 ~timestamp:ts hop))) );
+      ( "border_router_forward_ns",
+        Test.make ~name:"border-router forward (verify+advance)"
+          (Staged.stage (fun () ->
+               ignore
+                 (Scion_dataplane.Router.process router ~now:(Int32.to_float ts) ~ingress:0
+                    (mk_packet ())))) );
+      ( "packet_encode_ns",
+        Test.make ~name:"packet encode"
+          (Staged.stage (fun () -> ignore (Scion_dataplane.Packet.encode sample_packet))) );
+      ( "packet_decode_ns",
+        Test.make ~name:"packet decode"
+          (Staged.stage (fun () -> ignore (Scion_dataplane.Packet.decode encoded))) );
+      ( "schnorr_sign_ns",
+        Test.make ~name:"schnorr sign (PCB entry)"
+          (Staged.stage (fun () -> ignore (Scion_crypto.Schnorr.sign priv "msg"))) );
+      ( "schnorr_verify_ns",
+        Test.make ~name:"schnorr verify (PCB entry)"
+          (Staged.stage (fun () -> ignore (Scion_crypto.Schnorr.verify pub ~msg:"msg" ~signature))) );
+      ( "dispatcher_demux_ns",
+        Test.make ~name:"dispatcher demux (shared port)"
+          (Staged.stage (fun () ->
+               ignore (Scion_endhost.Dispatcher.dispatch dispatcher ~dst_port:40001 ~payload))) );
+      ( "dispatcherless_delivery_ns",
+        Test.make ~name:"dispatcherless delivery"
+          (Staged.stage (fun () ->
+               ignore (Scion_endhost.Dispatcher.Direct.deliver direct ~payload))) );
+      ( "sha256_1kib_ns",
+        Test.make ~name:"sha256 (1 KiB)"
+          (Staged.stage (fun () -> ignore (Scion_crypto.Sha256.digest payload))) );
+      ( "lightningfilter_check_ns",
+        Test.make ~name:"lightningfilter check"
+          (let filter =
+             Sciera.Science_dmz.Filter.create ~local_secret:"s"
+               ~allowed:[ (ia "71-88", 1e9) ]
+               ()
+           in
+           let key = Sciera.Science_dmz.Filter.host_key filter ~peer:(ia "71-88") in
+           let tag = Sciera.Science_dmz.Filter.authenticate ~key ~payload in
+           Staged.stage (fun () ->
+               ignore
+                 (Sciera.Science_dmz.Filter.check filter ~now:0.0 ~src:(ia "71-88") ~payload ~tag)))
+      );
     ]
   in
   Printf.printf "== Microbenchmarks (Bechamel) ==\n%!";
@@ -155,17 +173,25 @@ let micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
+  let registry = Telemetry.Metrics.create () in
   List.iter
-    (fun test ->
+    (fun (slug, test) ->
+      let g = Telemetry.Metrics.gauge registry slug in
       let results = Analyze.all ols Toolkit.Instance.monotonic_clock (benchmark test) in
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
           | Some (ns :: _) ->
+              Telemetry.Metrics.set g ns;
               Printf.printf "  %-42s %10.0f ns/op  (%9.1f Kops/s)\n%!" name ns (1e6 /. ns)
           | Some [] | None -> Printf.printf "  %-42s (no estimate)\n%!" name)
         results)
     tests;
+  if json then begin
+    Telemetry.Export.write_file micro_json_path (Telemetry.Export.to_json registry);
+    Printf.printf "\n  wrote %s (%d metrics)\n%!" micro_json_path
+      (Telemetry.Metrics.size registry)
+  end;
   (* The Section 4.8 ablation: dispatcher vs dispatcherless throughput under
      the RSS scaling model. *)
   Printf.printf "\n== Ablation: dispatcher vs dispatcherless (Section 4.8) ==\n";
@@ -211,7 +237,7 @@ let micro () =
 
 (* --- Driver -------------------------------------------------------------- *)
 
-let run_artifact ~days = function
+let run_artifact ~days ~json = function
   | "table1" -> table1 ()
   | "table2" -> Sciera.Exp_bootstrap.print_table2 ()
   | "fig3" -> Sciera.Deployment.print_fig3 ()
@@ -233,7 +259,7 @@ let run_artifact ~days = function
       let r = time_section "ISD evolution study" (fun () -> Sciera.Exp_isd_evolution.run ()) in
       Sciera.Exp_isd_evolution.print_report r
   | "survey" -> Sciera.Survey.print_survey ()
-  | "micro" -> micro ()
+  | "micro" -> micro ~json ()
   | other ->
       Printf.eprintf "unknown artefact %S\n" other;
       exit 1
@@ -246,11 +272,13 @@ let all_artifacts =
 
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _exe :: rest -> rest in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
   match args with
   | [] ->
       Printf.printf "SCIERA reproduction — full evaluation run (Section 5)\n\n%!";
-      List.iter (run_artifact ~days:Sciera.Incidents.window_days) all_artifacts
+      List.iter (run_artifact ~days:Sciera.Incidents.window_days ~json) all_artifacts
   | [ "fast" ] ->
       Printf.printf "SCIERA reproduction — fast run (4 simulated days)\n\n%!";
-      List.iter (run_artifact ~days:4.0) all_artifacts
-  | artifacts -> List.iter (run_artifact ~days:Sciera.Incidents.window_days) artifacts
+      List.iter (run_artifact ~days:4.0 ~json) all_artifacts
+  | artifacts -> List.iter (run_artifact ~days:Sciera.Incidents.window_days ~json) artifacts

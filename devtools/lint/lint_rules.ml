@@ -263,6 +263,64 @@ let ignored_result =
   }
 
 (* ------------------------------------------------------------------ *)
+(* R7: print discipline. *)
+
+let print_idents =
+  [
+    "Printf.printf";
+    "Printf.eprintf";
+    "Format.printf";
+    "Format.eprintf";
+    "print_endline";
+    "print_string";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "prerr_endline";
+    "prerr_string";
+    "prerr_newline";
+    "Stdlib.print_endline";
+    "Stdlib.print_string";
+    "Stdlib.print_newline";
+  ]
+
+let naked_printf =
+  {
+    no_hooks with
+    id = "naked-printf";
+    severity = Error;
+    doc =
+      "Bans direct stdout/stderr printing (Printf.printf, print_endline, ...) in lib/ outside \
+       lib/telemetry/: report output goes through Telemetry.Log.out (redirectable, capturable \
+       in tests) and diagnostics through Telemetry.Log.debug/info/warn/error (leveled), so \
+       experiment output stays clean and machine-checkable. Executables in bin/, bench/ and \
+       examples/ may print freely.";
+    scope = (fun file -> in_dir "lib/" file && not (in_dir "lib/telemetry/" file));
+    on_expr =
+      Some
+        (fun _ctx emit e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; loc } ->
+              let name = dotted txt in
+              if List.mem name print_idents then
+                emit loc
+                  (Printf.sprintf
+                     "%s prints directly from library code; route report output through \
+                      Telemetry.Log.out and diagnostics through Telemetry.Log.debug/info/warn/error"
+                     name)
+          | _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let rules : rule list =
-  [ determinism; totality; exception_hygiene; float_discipline; interface_coverage; ignored_result ]
+  [
+    determinism;
+    totality;
+    exception_hygiene;
+    float_discipline;
+    interface_coverage;
+    ignored_result;
+    naked_printf;
+  ]

@@ -1,12 +1,50 @@
 module IaMap = Scion_addr.Ia.Map
+module M = Telemetry.Metrics
 
 type entry = { pcb : Pcb.t; fingerprint : string }
-type t = { mutable buckets : entry list IaMap.t; per_origin : int }
 
-let create ?(per_origin = 8) () = { buckets = IaMap.empty; per_origin }
+type obs = {
+  o_added : M.counter;
+  o_replaced : M.counter;
+  o_rej_full : M.counter;
+  o_rej_dup : M.counter;
+  o_expired : M.counter;
+}
+
+type t = { mutable buckets : entry list IaMap.t; per_origin : int; obs : obs option }
+
+let make_obs registry ~name =
+  let base = [ ("store", name) ] in
+  let counter ?(extra = []) metric = M.counter registry ~labels:(base @ extra) metric in
+  {
+    o_added = counter ~extra:[ ("outcome", "added") ] "beacon_store.inserted";
+    o_replaced = counter ~extra:[ ("outcome", "replaced") ] "beacon_store.inserted";
+    o_rej_full = counter ~extra:[ ("reason", "full") ] "beacon_store.rejected";
+    o_rej_dup = counter ~extra:[ ("reason", "duplicate") ] "beacon_store.rejected";
+    o_expired = counter "beacon_store.expired";
+  }
+
+let create ?(per_origin = 8) ?metrics ?(name = "") () =
+  {
+    buckets = IaMap.empty;
+    per_origin;
+    obs = Option.map (fun registry -> make_obs registry ~name) metrics;
+  }
+
 let per_origin t = t.per_origin
 
 type outcome = Added | Replaced | Rejected_full | Rejected_duplicate
+
+let observe_outcome t outcome =
+  (match t.obs with
+  | None -> ()
+  | Some o -> (
+      match outcome with
+      | Added -> M.inc o.o_added
+      | Replaced -> M.inc o.o_replaced
+      | Rejected_full -> M.inc o.o_rej_full
+      | Rejected_duplicate -> M.inc o.o_rej_dup));
+  outcome
 
 (* Shorter beacons first; ties broken by fingerprint for determinism. *)
 let better a b =
@@ -15,7 +53,7 @@ let better a b =
 
 let sort_bucket = List.sort (fun a b -> if better a b then -1 else 1)
 
-let insert t pcb =
+let insert_unobserved t pcb =
   let fingerprint = Pcb.interface_fingerprint pcb in
   let origin = Pcb.origin pcb in
   let bucket = match IaMap.find_opt origin t.buckets with Some b -> b | None -> [] in
@@ -47,6 +85,8 @@ let insert t pcb =
         | _ -> Rejected_full
       end
 
+let insert t pcb = observe_outcome t (insert_unobserved t pcb)
+
 let best t ~k =
   IaMap.fold (fun _ bucket acc ->
       let rec take n = function
@@ -69,6 +109,7 @@ let remove_expired t ~now =
         removed := !removed + List.length drop;
         if keep = [] then None else Some keep)
       t.buckets;
+  (match t.obs with None -> () | Some o -> M.add o.o_expired !removed);
   !removed
 
 let clear t = t.buckets <- IaMap.empty

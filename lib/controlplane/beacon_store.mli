@@ -9,8 +9,13 @@
 
 type t
 
-val create : ?per_origin:int -> unit -> t
-(** Default [per_origin] is 8. *)
+val create :
+  ?per_origin:int -> ?metrics:Telemetry.Metrics.registry -> ?name:string -> unit -> t
+(** Default [per_origin] is 8. With [?metrics], the store counts
+    [beacon_store.inserted{store,outcome}] (outcome [added]/[replaced]),
+    [beacon_store.rejected{store,reason}] (reason [full]/[duplicate]) and
+    [beacon_store.expired{store}]; [?name] is the [store] label value
+    (e.g. ["1-13/intra"]). *)
 
 val per_origin : t -> int
 

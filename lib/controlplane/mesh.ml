@@ -5,6 +5,7 @@ module Ca = Scion_cppki.Ca
 module Schnorr = Scion_crypto.Schnorr
 module Fwkey = Scion_dataplane.Fwkey
 module Router = Scion_dataplane.Router
+module M = Telemetry.Metrics
 
 type link_class = Core_link | Parent_child | Peering
 
@@ -77,6 +78,25 @@ type link_id = int
 
 type link = { spec : link_spec; a_if : int; b_if : int; mutable l_up : bool }
 
+(* Control-plane telemetry handles; created eagerly when a registry is
+   supplied so idle-mesh snapshots already have their full shape. *)
+type obs = {
+  o_verif_failures : M.counter;
+  o_beaconing_runs : M.counter;
+  o_cert_renewals : M.counter;
+  o_sigcache_hits : M.gauge;
+  o_sigcache_misses : M.gauge;
+}
+
+let make_obs registry =
+  {
+    o_verif_failures = M.counter registry "mesh.verification_failures";
+    o_beaconing_runs = M.counter registry "mesh.beaconing_runs";
+    o_cert_renewals = M.counter registry "mesh.cert_renewals";
+    o_sigcache_hits = M.gauge registry ~labels:[ ("result", "hit") ] "mesh.sigcache";
+    o_sigcache_misses = M.gauge registry ~labels:[ ("result", "miss") ] "mesh.sigcache";
+  }
+
 type t = {
   cfg : config;
   rng : Scion_util.Rng.t;
@@ -90,6 +110,7 @@ type t = {
   cache : Sigcache.t;
   routers : (Ia.t, Router.t) Hashtbl.t;
   mutable verif_failures : int;
+  obs : obs option;
 }
 
 let config t = t.cfg
@@ -143,7 +164,7 @@ let verification_failures t = t.verif_failures
 
 (* --- Construction --- *)
 
-let create ?(config = default_config) ~now ~ases ~links () =
+let create ?(config = default_config) ?metrics ~now ~ases ~links () =
   let rng = Scion_util.Rng.create config.seed in
   let nodes = Hashtbl.create 64 in
   let seed_str = Int64.to_string config.seed in
@@ -212,8 +233,12 @@ let create ?(config = default_config) ~now ~ases ~links () =
           pubkey;
           cert;
           nbrs = [];
-          store_intra = Beacon_store.create ~per_origin:config.per_origin ();
-          store_core = Beacon_store.create ~per_origin:config.per_origin ();
+          store_intra =
+            Beacon_store.create ~per_origin:config.per_origin ?metrics
+              ~name:(Ia.to_string spec.spec_ia ^ "/intra") ();
+          store_core =
+            Beacon_store.create ~per_origin:config.per_origin ?metrics
+              ~name:(Ia.to_string spec.spec_ia ^ "/core") ();
           ups = [];
           cores_terminated = [];
         })
@@ -278,7 +303,7 @@ let create ?(config = default_config) ~now ~ases ~links () =
           (fun nb -> { Router.ifid = nb.n_ifid; remote_ia = nb.n_ia; remote_ifid = nb.n_remote_ifid })
           n.nbrs
       in
-      Hashtbl.replace routers ia (Router.create ~ia ~key:n.fwkey ~ifaces))
+      Hashtbl.replace routers ia (Router.create ?metrics ~ia ~key:n.fwkey ~ifaces ()))
     nodes;
   {
     cfg = config;
@@ -293,6 +318,7 @@ let create ?(config = default_config) ~now ~ases ~links () =
     cache = Sigcache.global;
     routers;
     verif_failures = 0;
+    obs = Option.map make_obs metrics;
   }
 
 (* --- Certificates --- *)
@@ -313,6 +339,7 @@ let renew_certificates t ~now =
         incr renewed
       end)
     t.order;
+  (match t.obs with None -> () | Some o -> M.add o.o_cert_renewals !renewed);
   !renewed
 
 (* --- Beaconing --- *)
@@ -378,6 +405,7 @@ let receive t (receiver : node) ~(expected_role : role) pcb ~now store =
                   | Ok () -> true
                   | Error _ ->
                       t.verif_failures <- t.verif_failures + 1;
+                      (match t.obs with None -> () | Some o -> M.inc o.o_verif_failures);
                       false
                 end
                 else true
@@ -510,7 +538,13 @@ let run_beaconing t ~now =
                 let term = extend_from n pcb ~ingress ~egress:0 in
                 n.cores_terminated <- term :: n.cores_terminated)
           (Beacon_store.all n.store_core))
-    t.order
+    t.order;
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      M.inc o.o_beaconing_runs;
+      M.set o.o_sigcache_hits (float_of_int (Sigcache.hits t.cache));
+      M.set o.o_sigcache_misses (float_of_int (Sigcache.misses t.cache))
 
 let up_segments t ia = (node t ia).ups
 let core_segments_at t ia = (node t ia).cores_terminated

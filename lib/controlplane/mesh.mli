@@ -40,10 +40,25 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> now:float -> ases:as_spec list -> links:link_spec list -> unit -> t
+val create :
+  ?config:config ->
+  ?metrics:Telemetry.Metrics.registry ->
+  now:float ->
+  ases:as_spec list ->
+  links:link_spec list ->
+  unit ->
+  t
 (** Build the mesh and its PKI. Raises [Invalid_argument] on inconsistent
     specs (unknown link endpoints, missing core/CA in an ISD, duplicate
-    ASes). *)
+    ASes).
+
+    With [?metrics], the registry is threaded into every per-AS
+    {!Beacon_store} (stores named ["<ia>/intra"] / ["<ia>/core"]) and
+    border {!Scion_dataplane.Router}, and the mesh itself maintains
+    [mesh.verification_failures], [mesh.beaconing_runs],
+    [mesh.cert_renewals] and the [mesh.sigcache{result}] hit/miss gauges
+    (published after each beaconing run, since the signature-verification
+    memo is process-wide). *)
 
 val config : t -> config
 val ases : t -> Ia.t list

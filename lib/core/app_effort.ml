@@ -1,3 +1,4 @@
+module Log = Telemetry.Log
 (* Section 5.2: application enablement effort. The paper SCIONabled three
    existing applications (bat, a Caddy reverse proxy, a Java netcat) with
    minimal diffs (Appendices E-G). This repository carries the same case
@@ -45,7 +46,7 @@ let cases =
   ]
 
 let print_app_effort () =
-  Printf.printf "== Section 5.2: application enablement effort ==\n";
+  Log.out "== Section 5.2: application enablement effort ==\n";
   Scion_util.Table.print ~header:[ "application"; "paper equivalent"; "LoC delta" ]
     ~rows:
       (List.map
@@ -53,8 +54,8 @@ let print_app_effort () =
          cases);
   List.iter
     (fun c ->
-      Printf.printf "%s:\n" c.app;
-      List.iter (fun p -> Printf.printf "  - %s\n" p) c.integration_points)
+      Log.out "%s:\n" c.app;
+      List.iter (fun p -> Log.out "  - %s\n" p) c.integration_points)
     cases;
-  Printf.printf
+  Log.out
     "all three integrations stay within tens of lines, matching the paper's frictionless-enablement finding\n\n"

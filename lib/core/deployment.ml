@@ -1,3 +1,4 @@
+module Log = Telemetry.Log
 (* Section 5.3, Figure 3 and Appendix C: the SCIERA deployment timeline and
    per-AS deployment effort. Dates and the qualitative effort narrative are
    data from the paper; the effort model turns the narrative into numbers:
@@ -102,7 +103,7 @@ let scored_timeline =
     timeline
 
 let print_fig3 () =
-  Printf.printf "== Figure 3: SCIERA deployment and estimated effort over time ==\n";
+  Log.out "== Figure 3: SCIERA deployment and estimated effort over time ==\n";
   Scion_util.Table.print
     ~header:[ "date"; "site"; "AS"; "kind"; "effort"; "note" ]
     ~rows:
@@ -129,9 +130,9 @@ let print_fig3 () =
     (fun kind ->
       match first_last kind with
       | Some (first, last) ->
-          Printf.printf "%-15s first %.0f -> latest %.0f (%.0f%% cheaper)\n" (kind_to_string kind)
+          Log.out "%-15s first %.0f -> latest %.0f (%.0f%% cheaper)\n" (kind_to_string kind)
             first last
             (100.0 *. (first -. last) /. first)
       | None -> ())
     [ Core_backbone; Campus_vlan; Nren_attach; Reused_circuit ];
-  print_newline ()
+  Log.out "\n"

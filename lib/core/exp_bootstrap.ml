@@ -1,3 +1,4 @@
+module Log = Telemetry.Log
 (* Section 5.1, Figure 4: end-host bootstrapping performance — hint
    retrieval, configuration retrieval and total latency per OS, 30 runs per
    hinting mechanism; plus Table 2 (Appendix A), the availability matrix of
@@ -97,7 +98,7 @@ let box_row label (b : Stats.boxplot) =
   ]
 
 let print_fig4 r =
-  Printf.printf "== Figure 4: bootstrapping latency per platform (%d runs/mechanism, ms) ==\n"
+  Log.out "== Figure 4: bootstrapping latency per platform (%d runs/mechanism, ms) ==\n"
     r.runs_per_mechanism;
   Scion_util.Table.print ~header:[ "stage/os"; "p5"; "q1"; "median"; "q3"; "p95" ]
     ~rows:
@@ -110,12 +111,12 @@ let print_fig4 r =
              box_row (n ^ " total") s.total;
            ])
          r.per_os);
-  Printf.printf "worst total median: %.1f ms — %s 150 ms, imperceptible to users (paper: median < 150 ms)\n\n"
+  Log.out "worst total median: %.1f ms — %s 150 ms, imperceptible to users (paper: median < 150 ms)\n\n"
     r.all_medians_under_ms
     (if r.all_medians_under_ms < 150.0 then "under" else "OVER")
 
 let print_table2 () =
-  Printf.printf "== Table 2: hinting mechanisms vs network environment ==\n";
+  Log.out "== Table 2: hinting mechanisms vs network environment ==\n";
   let envs =
     [
       ("static", { Hints.static_ips_only = true; dhcp = false; dhcpv6 = false; ipv6_ras = false; dns_search_domain = false });
@@ -134,4 +135,4 @@ let print_table2 () =
   Scion_util.Table.print
     ~header:("mechanism" :: List.map fst envs)
     ~rows:(List.map (fun m -> Hints.name m :: List.map (fun (_, e) -> cell m e) envs) Hints.all);
-  print_newline ()
+  Log.out "\n"

@@ -1,3 +1,4 @@
+module Log = Telemetry.Log
 module Ia = Scion_addr.Ia
 module Stats = Scion_util.Stats
 module Combinator = Scion_controlplane.Combinator
@@ -138,44 +139,44 @@ let matrix_rows r m =
     labels
 
 let print_matrix r title m =
-  print_endline title;
+  Log.out "%s\n" title;
   Scion_util.Table.print
     ~header:("src\\dst" :: List.map Ia.to_string r.ases)
     ~rows:(matrix_rows r m)
 
 let print_fig8 r =
-  Printf.printf "== Figure 8: maximum number of active paths between AS pairs ==\n";
+  Log.out "== Figure 8: maximum number of active paths between AS pairs ==\n";
   print_matrix r "" r.max_paths;
   let a, b, c = r.best_pair in
-  Printf.printf "every pair has >= %d paths (paper: >= 2); richest pair %s -> %s with %d (paper: UVa->UFMS 113)\n\n"
+  Log.out "every pair has >= %d paths (paper: >= 2); richest pair %s -> %s with %d (paper: UVa->UFMS 113)\n\n"
     r.min_paths (Topology.name_of a) (Topology.name_of b) c
 
 let print_fig9 r =
-  Printf.printf "== Figure 9: median deviation from the maximum number of active paths ==\n";
+  Log.out "== Figure 9: median deviation from the maximum number of active paths ==\n";
   print_matrix r "" r.median_deviation;
-  Printf.printf
+  Log.out
     "most entries are 0 (paper: same); elevated deviations where the incidents bite: the Equinix row/column (flapping Ashburn cross-connect, the paper's UVa-Equinix/BRIDGES finding) and the Singapore-Amsterdam entries (submarine-cable cut, the paper's DJ-SG finding)\n\n"
 
 let print_fig10a r =
-  Printf.printf "== Figure 10a: CDF of path latency inflation (d2/d1) ==\n";
+  Log.out "== Figure 10a: CDF of path latency inflation (d2/d1) ==\n";
   Scion_util.Table.print ~header:[ "inflation"; "P(X<=x)" ]
     ~rows:
       (List.map
          (fun (v, f) -> [ Scion_util.Table.fmt_ratio v; Scion_util.Table.fmt_pct f ])
          (Stats.resample_cdf r.inflation_cdf 12));
-  Printf.printf "pairs with a near-equal alternative (<=1.05): %s (paper: ~40%% at ~1.0)\n"
+  Log.out "pairs with a near-equal alternative (<=1.05): %s (paper: ~40%% at ~1.0)\n"
     (Scion_util.Table.fmt_pct r.frac_inflation_close_to_1);
-  Printf.printf "pairs with <= 20%% inflation:                  %s (paper: ~80%%)\n\n"
+  Log.out "pairs with <= 20%% inflation:                  %s (paper: ~80%%)\n\n"
     (Scion_util.Table.fmt_pct r.frac_inflation_le_1_2)
 
 let print_fig10b r =
-  Printf.printf "== Figure 10b: CDF of path disjointness ==\n";
+  Log.out "== Figure 10b: CDF of path disjointness ==\n";
   Scion_util.Table.print ~header:[ "disjointness"; "P(X<=x)" ]
     ~rows:
       (List.map
          (fun (v, f) -> [ Scion_util.Table.fmt_ratio v; Scion_util.Table.fmt_pct f ])
          (Stats.resample_cdf r.disjointness_cdf 12));
-  Printf.printf "fully disjoint combinations: %s (paper: ~30%%)\n"
+  Log.out "fully disjoint combinations: %s (paper: ~30%%)\n"
     (Scion_util.Table.fmt_pct r.frac_fully_disjoint);
-  Printf.printf "combinations >= 0.7 disjoint: %s (paper: ~80%%)\n\n"
+  Log.out "combinations >= 0.7 disjoint: %s (paper: ~80%%)\n\n"
     (Scion_util.Table.fmt_pct r.frac_disjointness_ge_0_7)

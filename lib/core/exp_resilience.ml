@@ -1,3 +1,4 @@
+module Log = Telemetry.Log
 (* Figure 10c: impact of link failures on AS connectivity — multipath vs a
    single-path (BGP-like) alternative. 100 runs; each removes links one by
    one in random order and tracks the fraction of AS pairs still connected. *)
@@ -116,7 +117,7 @@ let connectivity_at r fraction =
   (r.multipath_connectivity.(i), r.singlepath_connectivity.(i))
 
 let print_fig10c r =
-  Printf.printf "== Figure 10c: impact of link failures on AS connectivity (%d runs) ==\n" r.runs;
+  Log.out "== Figure 10c: impact of link failures on AS connectivity (%d runs) ==\n" r.runs;
   let n = Array.length r.fractions_removed in
   let rows =
     List.filter_map
@@ -133,6 +134,6 @@ let print_fig10c r =
   in
   Scion_util.Table.print ~header:[ "links removed"; "multipath"; "single path" ] ~rows;
   let m20, s20 = connectivity_at r 0.2 in
-  Printf.printf
+  Log.out
     "at 20%% links removed: multipath %s vs single path %s connected (paper: ~90%% vs ~50%%)\n\n"
     (Scion_util.Table.fmt_pct m20) (Scion_util.Table.fmt_pct s20)

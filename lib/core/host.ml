@@ -58,7 +58,8 @@ let attach network ~ia ?(daemon_available = true) ?(bootstrapper_available = tru
       | Error e -> Error (Boot.error_to_string e)
       | Ok (_topo, trc, timing) ->
           let fetch ~dst = Network.paths network ~src:ia ~dst in
-          let host_daemon = Daemon.create ~ia ~fetch () in
+          let metrics = Option.map Obs.registry (Network.telemetry network) in
+          let host_daemon = Daemon.create ~ia ~fetch ?metrics () in
           Daemon.store_trc host_daemon trc;
           Ok
             {
@@ -89,8 +90,9 @@ let transport t fp ~payload =
   | Scion_controlplane.Mesh.Walk_dropped _ -> Pan.Conn.Send_failed
 
 let dial t ~dst ?(policy = Pan.default_policy) () =
-  Pan.Conn.dial ~policy ~latency_of:(latency_estimate t) ~transport:(transport t)
-    ~paths:(paths t ~dst)
+  let metrics = Option.map Obs.registry (Network.telemetry t.network) in
+  Pan.Conn.dial ?metrics ~peer:(Ia.to_string dst) ~policy ~latency_of:(latency_estimate t)
+    ~transport:(transport t) ~paths:(paths t ~dst) ()
 
 let ping t ~dst =
   match dial t ~dst () with

@@ -18,6 +18,7 @@ type t = {
   mutable last_beacon_day : float;
   path_cache : (string, Combinator.fullpath list) Hashtbl.t;
   mutable rebeacons : int;
+  obs : Obs.t option;
 }
 
 let mesh t = t.mesh
@@ -26,6 +27,7 @@ let now_unix t = Incidents.window_start_unix +. (t.day *. day_seconds)
 let scion_fabric t = t.net
 let rng t = t.ip_rng
 let rebeacon_count t = t.rebeacons
+let telemetry t = t.obs
 
 (* Total lookups into the graph-node tables. All keys come from
    Topology.ases / Topology.ip_hubs, which also populate the tables, so a
@@ -82,7 +84,7 @@ let set_day t day =
   let changed = apply_day t day in
   if changed || day -. t.last_beacon_day > 0.8 || day < t.last_beacon_day then rebeacon t
 
-let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) () =
+let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) ?telemetry () =
   let config =
     {
       Mesh.default_config with
@@ -113,10 +115,18 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) () =
       (fun (l : Topology.link_info) -> { Mesh.l_a = l.Topology.a; l_b = l.Topology.b; cls = l.Topology.cls })
       Topology.links
   in
-  let mesh = Mesh.create ~config ~now:Incidents.window_start_unix ~ases ~links:mesh_links () in
+  let metrics = Option.map Obs.registry telemetry in
+  let mesh =
+    Mesh.create ~config ?metrics ~now:Incidents.window_start_unix ~ases ~links:mesh_links ()
+  in
   let rng_root = Rng.create seed in
   let net = Net.create ~rng:(Rng.split rng_root) in
   let ip = Net.create ~rng:(Rng.split rng_root) in
+  (match telemetry with
+  | None -> ()
+  | Some obs ->
+      Obs.wire_fabric obs ~name:"scion" net;
+      Obs.wire_fabric obs ~name:"ip" ip);
   let node = Hashtbl.create 64 and ipnode = Hashtbl.create 64 in
   List.iter
     (fun (a : Topology.as_info) ->
@@ -180,6 +190,7 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) () =
       last_beacon_day = -1.0;
       path_cache = Hashtbl.create 256;
       rebeacons = 0;
+      obs = telemetry;
     }
   in
   ignore (apply_day t 0.0);

@@ -11,9 +11,12 @@ module Ia = Scion_addr.Ia
 
 type t
 
-val create : ?seed:int64 -> ?per_origin:int -> ?verify_pcbs:bool -> unit -> t
+val create : ?seed:int64 -> ?per_origin:int -> ?verify_pcbs:bool -> ?telemetry:Obs.t -> unit -> t
 (** Build the SCIERA network at day 0 of the window and run initial
-    beaconing. [per_origin] sizes the beacon stores (default 12). *)
+    beaconing. [per_origin] sizes the beacon stores (default 12).
+    [?telemetry] threads a metrics registry through the mesh (beacon
+    stores, border routers) and installs link monitors on both fabrics
+    (names ["scion"] and ["ip"]). *)
 
 val mesh : t -> Mesh.t
 val now_unix : t -> float
@@ -52,3 +55,6 @@ val scion_fabric : t -> Netsim.Net.t
 val rng : t -> Scion_util.Rng.t
 val rebeacon_count : t -> int
 (** How many control-plane convergences have run (observability). *)
+
+val telemetry : t -> Obs.t option
+(** The observability bundle the network was created with, if any. *)

@@ -1,0 +1,51 @@
+(* Glue between the generic netsim hooks and the telemetry subsystem: one
+   bundle holding a metrics registry and a tracer, plus wiring helpers for
+   the engine and the link fabrics. netsim itself has no telemetry
+   dependency; everything flows through Engine.on_event / Net.set_monitor. *)
+
+module M = Telemetry.Metrics
+module Trace = Telemetry.Trace
+module Engine = Netsim.Engine
+module Net = Netsim.Net
+
+type t = { registry : M.registry; trace : Trace.t }
+
+let create () = { registry = M.create (); trace = Trace.create () }
+let registry t = t.registry
+let trace t = t.trace
+
+let wire_engine t engine =
+  let events = M.counter t.registry "engine.events_processed" in
+  let depth = M.gauge t.registry "engine.queue_depth" in
+  let clock = M.gauge t.registry "engine.sim_time_s" in
+  Engine.on_event engine (fun ~time ~pending ->
+      M.inc events;
+      M.set depth (float_of_int pending);
+      M.set clock time)
+
+(* Serialisation-wait buckets in seconds: microseconds to one second. *)
+let wait_buckets = [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 ]
+
+let wire_fabric t ~name net =
+  let base = [ ("net", name) ] in
+  let counter ?(extra = []) metric = M.counter t.registry ~labels:(base @ extra) metric in
+  let tx_packets = counter "net.tx_packets" in
+  let tx_bytes = counter "net.tx_bytes" in
+  let rx_packets = counter "net.rx_packets" in
+  let rx_bytes = counter "net.rx_bytes" in
+  let drop_down = counter ~extra:[ ("cause", "link_down") ] "net.dropped" in
+  let drop_loss = counter ~extra:[ ("cause", "random_loss") ] "net.dropped" in
+  let wait = M.histogram t.registry ~labels:base ~buckets:wait_buckets "net.serialisation_wait_s" in
+  Net.set_monitor net (function
+    | Net.Tx { size_bytes; wait_s; _ } ->
+        M.inc tx_packets;
+        M.add tx_bytes size_bytes;
+        M.observe wait wait_s
+    | Net.Rx { size_bytes; _ } ->
+        M.inc rx_packets;
+        M.add rx_bytes size_bytes
+    | Net.Drop { cause = Net.Link_down; _ } -> M.inc drop_down
+    | Net.Drop { cause = Net.Random_loss; _ } -> M.inc drop_loss)
+
+let snapshot_json t = Telemetry.Export.to_json t.registry
+let render t = Telemetry.Export.render t.registry

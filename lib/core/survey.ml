@@ -1,3 +1,4 @@
+module Log = Telemetry.Log
 (* Section 5.6: the operator survey — 8 anonymous respondents, 20 questions
    over deployment experience, CAPEX and OPEX. The per-respondent answers
    are a dataset constructed to be consistent with every aggregate the
@@ -115,7 +116,7 @@ let aggregates =
 
 let print_survey () =
   let a = aggregates in
-  Printf.printf "== Section 5.6: operator survey (n=%d) ==\n" a.n;
+  Log.out "== Section 5.6: operator survey (n=%d) ==\n" a.n;
   let row label v paper = [ label; Printf.sprintf "%.1f%%" v; paper ] in
   Scion_util.Table.print ~header:[ "question"; "measured"; "paper" ]
     ~rows:
@@ -136,7 +137,7 @@ let print_survey () =
         row "SCIERA tasks < 10% of workload" a.workload_under_10 "87.5%";
         row "vendor support < 3x per year" a.vendor_under_3_per_year "62.5%";
       ];
-  Printf.printf "primary delay cause: %s\n\n"
+  Log.out "primary delay cause: %s\n\n"
     (let causes = List.map (fun r -> r.delay_cause) respondents in
      let l2 = List.length (List.filter (fun c -> c = "L2 circuit provisioning across multiple networks") causes) in
      Printf.sprintf "L2 circuit provisioning (%d of %d delayed deployments)" l2

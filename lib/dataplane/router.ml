@@ -1,3 +1,5 @@
+module M = Telemetry.Metrics
+
 type iface = { ifid : int; remote_ia : Scion_addr.Ia.t; remote_ifid : int }
 
 type counters = {
@@ -6,38 +8,6 @@ type counters = {
   mutable dropped : int;
   mutable mac_failures : int;
 }
-
-type t = {
-  ia : Scion_addr.Ia.t;
-  key : Scion_crypto.Cmac.key;
-  ifaces : (int, iface) Hashtbl.t;
-  iface_state : (int, bool) Hashtbl.t;
-  stats : counters;
-}
-
-let create ~ia ~key ~ifaces =
-  let table = Hashtbl.create 8 in
-  List.iter
-    (fun i ->
-      if i.ifid = 0 then invalid_arg "Router.create: interface id 0 is reserved";
-      if Hashtbl.mem table i.ifid then
-        invalid_arg (Printf.sprintf "Router.create: duplicate interface %d" i.ifid);
-      Hashtbl.add table i.ifid i)
-    ifaces;
-  {
-    ia;
-    key = Fwkey.cmac_key key;
-    ifaces = table;
-    iface_state = Hashtbl.create 8;
-    stats = { forwarded = 0; delivered = 0; dropped = 0; mac_failures = 0 };
-  }
-
-let ia t = t.ia
-let interfaces t =
-  List.rev (Scion_util.Table.fold_sorted (fun _ i acc -> i :: acc) t.ifaces [])
-let interface t ifid = Hashtbl.find_opt t.ifaces ifid
-let set_interface_state t ifid ~up = Hashtbl.replace t.iface_state ifid up
-let interface_up t ifid = match Hashtbl.find_opt t.iface_state ifid with Some up -> up | None -> true
 
 type drop_reason =
   | Not_for_us
@@ -57,6 +27,115 @@ let drop_reason_to_string = function
   | Unknown_interface i -> Printf.sprintf "no such interface %d" i
   | Interface_down i -> Printf.sprintf "interface %d is down" i
   | Path_malformed m -> Printf.sprintf "malformed path: %s" m
+
+let drop_slug = function
+  | Not_for_us -> "not_for_us"
+  | Invalid_mac -> "invalid_mac"
+  | Expired_hop _ -> "expired_hop"
+  | Ingress_mismatch _ -> "ingress_mismatch"
+  | Unknown_interface _ -> "unknown_interface"
+  | Interface_down _ -> "interface_down"
+  | Path_malformed _ -> "path_malformed"
+
+let drop_slugs =
+  [
+    "expired_hop";
+    "ingress_mismatch";
+    "interface_down";
+    "invalid_mac";
+    "not_for_us";
+    "path_malformed";
+    "unknown_interface";
+  ]
+
+(* The SCMP error a border router would emit for each drop; used as the
+   [type] label of [router.scmp_errors]. *)
+let scmp_type = function
+  | Invalid_mac -> "invalid_hop_field_mac"
+  | Expired_hop _ -> "expired_hop_field"
+  | Interface_down _ | Unknown_interface _ -> "external_interface_down"
+  | Not_for_us -> "destination_unreachable"
+  | Ingress_mismatch _ | Path_malformed _ -> "invalid_path"
+
+let scmp_types =
+  [
+    "destination_unreachable";
+    "expired_hop_field";
+    "external_interface_down";
+    "invalid_hop_field_mac";
+    "invalid_path";
+  ]
+
+(* Telemetry handles, created eagerly at [create] so a snapshot of an idle
+   router already lists every series (deterministic snapshot shape). *)
+type obs = {
+  o_forwarded : M.counter;
+  o_delivered : M.counter;
+  o_dropped : (string * M.counter) list;  (* keyed by drop slug *)
+  o_mac_failures : M.counter;
+  o_scmp : (string * M.counter) list;  (* keyed by SCMP error type *)
+  o_rx : (int * M.counter) list;  (* keyed by interface id *)
+  o_tx : (int * M.counter) list;
+}
+
+type t = {
+  ia : Scion_addr.Ia.t;
+  key : Scion_crypto.Cmac.key;
+  ifaces : (int, iface) Hashtbl.t;
+  iface_state : (int, bool) Hashtbl.t;
+  stats : counters;
+  obs : obs option;
+}
+
+let make_obs registry ~ia ~ifids =
+  let base = [ ("ia", Scion_addr.Ia.to_string ia) ] in
+  let counter ?(extra = []) name = M.counter registry ~labels:(base @ extra) name in
+  {
+    o_forwarded = counter "router.forwarded";
+    o_delivered = counter "router.delivered";
+    o_dropped =
+      List.map (fun slug -> (slug, counter ~extra:[ ("reason", slug) ] "router.dropped")) drop_slugs;
+    o_mac_failures = counter "router.mac_failures";
+    o_scmp =
+      List.map (fun ty -> (ty, counter ~extra:[ ("type", ty) ] "router.scmp_errors")) scmp_types;
+    o_rx =
+      List.map
+        (fun ifid -> (ifid, counter ~extra:[ ("ifid", string_of_int ifid) ] "router.iface_rx_packets"))
+        ifids;
+    o_tx =
+      List.map
+        (fun ifid -> (ifid, counter ~extra:[ ("ifid", string_of_int ifid) ] "router.iface_tx_packets"))
+        ifids;
+  }
+
+let obs_inc entries key =
+  match List.assoc_opt key entries with Some c -> M.inc c | None -> ()
+
+let create ?metrics ~ia ~key ~ifaces () =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      if i.ifid = 0 then invalid_arg "Router.create: interface id 0 is reserved";
+      if Hashtbl.mem table i.ifid then
+        invalid_arg (Printf.sprintf "Router.create: duplicate interface %d" i.ifid);
+      Hashtbl.add table i.ifid i)
+    ifaces;
+  let ifids = List.sort Int.compare (List.map (fun i -> i.ifid) ifaces) in
+  {
+    ia;
+    key = Fwkey.cmac_key key;
+    ifaces = table;
+    iface_state = Hashtbl.create 8;
+    stats = { forwarded = 0; delivered = 0; dropped = 0; mac_failures = 0 };
+    obs = Option.map (fun registry -> make_obs registry ~ia ~ifids) metrics;
+  }
+
+let ia t = t.ia
+let interfaces t =
+  List.rev (Scion_util.Table.fold_sorted (fun _ i acc -> i :: acc) t.ifaces [])
+let interface t ifid = Hashtbl.find_opt t.ifaces ifid
+let set_interface_state t ifid ~up = Hashtbl.replace t.iface_state ifid up
+let interface_up t ifid = match Hashtbl.find_opt t.iface_state ifid with Some up -> up | None -> true
 
 type verdict =
   | Deliver of Packet.t
@@ -102,10 +181,17 @@ let verify_current t ~now path =
 let drop t reason =
   t.stats.dropped <- t.stats.dropped + 1;
   (match reason with Invalid_mac -> t.stats.mac_failures <- t.stats.mac_failures + 1 | _ -> ());
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+      obs_inc o.o_dropped (drop_slug reason);
+      obs_inc o.o_scmp (scmp_type reason);
+      (match reason with Invalid_mac -> M.inc o.o_mac_failures | _ -> ()));
   Drop reason
 
 let deliver t pkt =
   t.stats.delivered <- t.stats.delivered + 1;
+  (match t.obs with None -> () | Some o -> M.inc o.o_delivered);
   Deliver pkt
 
 let forward_out t pkt path egress =
@@ -117,10 +203,18 @@ let forward_out t pkt path egress =
     | Some _ ->
         if not (Path.at_last_hop path) then Path.advance path;
         t.stats.forwarded <- t.stats.forwarded + 1;
+        (match t.obs with
+        | None -> ()
+        | Some o ->
+            M.inc o.o_forwarded;
+            obs_inc o.o_tx egress);
         Forward { egress; packet = pkt }
   end
 
 let process t ~now ~ingress pkt =
+  (match t.obs with
+  | Some o when ingress <> 0 -> obs_inc o.o_rx ingress
+  | Some _ | None -> ());
   match pkt.Packet.path with
   | Packet.Empty ->
       if Scion_addr.Ia.equal pkt.Packet.dst_ia t.ia then deliver t pkt else drop t Not_for_us

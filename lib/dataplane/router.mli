@@ -16,9 +16,23 @@ type iface = { ifid : int; remote_ia : Scion_addr.Ia.t; remote_ifid : int }
 
 type t
 
-val create : ia:Scion_addr.Ia.t -> key:Fwkey.t -> ifaces:iface list -> t
+val create :
+  ?metrics:Telemetry.Metrics.registry ->
+  ia:Scion_addr.Ia.t ->
+  key:Fwkey.t ->
+  ifaces:iface list ->
+  unit ->
+  t
 (** Raises [Invalid_argument] on duplicate interface ids or interface id
-    0 (reserved for "local"). *)
+    0 (reserved for "local").
+
+    With [?metrics], the router registers (eagerly, so snapshots have a
+    stable shape) and maintains: [router.forwarded], [router.delivered],
+    [router.dropped{reason}], [router.mac_failures],
+    [router.scmp_errors{type}] (the SCMP error that each drop would emit),
+    and per-interface [router.iface_rx_packets{ifid}] /
+    [router.iface_tx_packets{ifid}] — all labelled with the router's
+    [ia]. *)
 
 val ia : t -> Scion_addr.Ia.t
 val interfaces : t -> iface list

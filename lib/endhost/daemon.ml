@@ -1,9 +1,12 @@
 module Ia = Scion_addr.Ia
 module Combinator = Scion_controlplane.Combinator
+module M = Telemetry.Metrics
 
 type fetch = dst:Ia.t -> Combinator.fullpath list
 
 type cache_entry = { paths : Combinator.fullpath list; fetched_at : float }
+
+type obs = { o_hits : M.counter; o_misses : M.counter }
 
 type t = {
   ia : Ia.t;
@@ -14,9 +17,17 @@ type t = {
   trcs : (int, Scion_cppki.Trc.t) Hashtbl.t;
   mutable hit_count : int;
   mutable miss_count : int;
+  obs : obs option;
 }
 
-let create ~ia ~fetch ?(cache_ttl = 300.0) ?(expiry_margin = 60.0) () =
+let make_obs registry ~ia =
+  let base = [ ("ia", Ia.to_string ia) ] in
+  {
+    o_hits = M.counter registry ~labels:(("source", "cache") :: base) "daemon.lookups";
+    o_misses = M.counter registry ~labels:(("source", "fetch") :: base) "daemon.lookups";
+  }
+
+let create ~ia ~fetch ?(cache_ttl = 300.0) ?(expiry_margin = 60.0) ?metrics () =
   {
     ia;
     fetch;
@@ -26,6 +37,7 @@ let create ~ia ~fetch ?(cache_ttl = 300.0) ?(expiry_margin = 60.0) () =
     trcs = Hashtbl.create 4;
     hit_count = 0;
     miss_count = 0;
+    obs = Option.map (fun registry -> make_obs registry ~ia) metrics;
   }
 
 let ia t = t.ia
@@ -38,6 +50,7 @@ let usable t ~now paths =
 let lookup t ~now ~dst =
   let refresh () =
     t.miss_count <- t.miss_count + 1;
+    (match t.obs with None -> () | Some o -> M.inc o.o_misses);
     let paths = t.fetch ~dst in
     Hashtbl.replace t.cache dst { paths; fetched_at = now };
     (usable t ~now paths, Fetched)
@@ -48,6 +61,7 @@ let lookup t ~now ~dst =
       | [] -> refresh ()
       | live ->
           t.hit_count <- t.hit_count + 1;
+          (match t.obs with None -> () | Some o -> M.inc o.o_hits);
           (live, From_cache))
   | Some _ | None -> refresh ()
 

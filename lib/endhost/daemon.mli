@@ -14,11 +14,14 @@ val create :
   fetch:fetch ->
   ?cache_ttl:float ->
   ?expiry_margin:float ->
+  ?metrics:Telemetry.Metrics.registry ->
   unit ->
   t
 (** [cache_ttl] caps how long a cached path set is served (default 300 s);
     [expiry_margin] discards paths that expire within the margin (default
-    60 s), mirroring the paper's path-expiration lessons. *)
+    60 s), mirroring the paper's path-expiration lessons. With [?metrics],
+    every lookup counts into [daemon.lookups{ia,source}] with source
+    [cache] or [fetch]. *)
 
 val ia : t -> Scion_addr.Ia.t
 

@@ -89,37 +89,66 @@ let choose_mode ~daemon_available ~bootstrapper_available =
   else Standalone
 
 module Conn = struct
+  module M = Telemetry.Metrics
+
   type send_outcome = Sent of { rtt_ms : float } | Send_failed
 
   type transport = Combinator.fullpath -> payload:string -> send_outcome
+
+  type obs = { o_sent : M.counter; o_failed : M.counter; o_failovers : M.counter }
 
   type t = {
     transport : transport;
     mutable ranked : Combinator.fullpath list;  (** Current path first. *)
     mutable failover_count : int;
+    obs : obs option;
   }
 
-  let dial ~policy ~latency_of ~transport ~paths =
+  let make_obs registry ~peer =
+    let base = [ ("peer", peer) ] in
+    {
+      o_sent = M.counter registry ~labels:(("outcome", "sent") :: base) "pan.send";
+      o_failed = M.counter registry ~labels:(("outcome", "failed") :: base) "pan.send";
+      o_failovers = M.counter registry ~labels:base "pan.failovers";
+    }
+
+  let dial ?metrics ?(peer = "") ~policy ~latency_of ~transport ~paths () =
     match sort_paths policy ~latency_of (filter_paths policy paths) with
     | [] -> Error "no path satisfies the policy"
-    | ranked -> Ok { transport; ranked; failover_count = 0 }
+    | ranked ->
+        Ok
+          {
+            transport;
+            ranked;
+            failover_count = 0;
+            obs = Option.map (fun registry -> make_obs registry ~peer) metrics;
+          }
 
   let current_path t =
     match t.ranked with p :: _ -> p | [] -> invalid_arg "Conn: no paths left"
 
   let candidates t = List.length t.ranked
 
-  let rec send t ~payload =
-    match t.ranked with
-    | [] -> Send_failed
-    | path :: rest -> (
-        match t.transport path ~payload with
-        | Sent r -> Sent r
-        | Send_failed ->
-            (* Drop the dead path and retry over the next candidate. *)
-            t.ranked <- rest;
-            t.failover_count <- t.failover_count + 1;
-            send t ~payload)
+  let send t ~payload =
+    let rec attempt () =
+      match t.ranked with
+      | [] -> Send_failed
+      | path :: rest -> (
+          match t.transport path ~payload with
+          | Sent r -> Sent r
+          | Send_failed ->
+              (* Drop the dead path and retry over the next candidate. *)
+              t.ranked <- rest;
+              t.failover_count <- t.failover_count + 1;
+              (match t.obs with None -> () | Some o -> M.inc o.o_failovers);
+              attempt ())
+    in
+    let outcome = attempt () in
+    (match t.obs with
+    | None -> ()
+    | Some o -> (
+        match outcome with Sent _ -> M.inc o.o_sent | Send_failed -> M.inc o.o_failed));
+    outcome
 
   let failovers t = t.failover_count
 end

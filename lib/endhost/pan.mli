@@ -52,12 +52,18 @@ module Conn : sig
   type t
 
   val dial :
+    ?metrics:Telemetry.Metrics.registry ->
+    ?peer:string ->
     policy:policy ->
     latency_of:(Combinator.fullpath -> float) ->
     transport:transport ->
     paths:Combinator.fullpath list ->
+    unit ->
     (t, string) result
-  (** Picks the best path under the policy. Errors when no path passes. *)
+  (** Picks the best path under the policy. Errors when no path passes.
+      With [?metrics], the connection counts [pan.send{peer,outcome}]
+      (outcome [sent]/[failed], after any failovers) and
+      [pan.failovers{peer}]; [?peer] labels the series. *)
 
   val current_path : t -> Combinator.fullpath
   val candidates : t -> int

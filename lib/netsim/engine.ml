@@ -8,6 +8,8 @@ type t = {
   mutable size : int;
   mutable clock : float;
   mutable next_seq : int;
+  mutable processed : int;
+  mutable observers : (time:float -> pending:int -> unit) list;
 }
 
 let create ?(start = 0.0) () =
@@ -16,6 +18,8 @@ let create ?(start = 0.0) () =
     size = 0;
     clock = start;
     next_seq = 0;
+    processed = 0;
+    observers = [];
   }
 
 let now t = t.clock
@@ -82,12 +86,17 @@ let schedule t ~after action =
   if after < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. after) action
 
+let on_event t f = t.observers <- t.observers @ [ f ]
+let events_processed t = t.processed
+
 let step t =
   if t.size = 0 then false
   else begin
     let ev = pop t in
     t.clock <- ev.time;
     ev.action ();
+    t.processed <- t.processed + 1;
+    List.iter (fun f -> f ~time:ev.time ~pending:t.size) t.observers;
     true
   end
 

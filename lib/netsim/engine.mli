@@ -23,3 +23,12 @@ val step : t -> bool
 (** Process a single event; [false] when the queue is empty. *)
 
 val pending : t -> int
+
+val events_processed : t -> int
+(** Total events executed since [create]. *)
+
+val on_event : t -> (time:float -> pending:int -> unit) -> unit
+(** Register an observer called after every processed event with the event's
+    simulated time and the remaining queue depth. Observers run in
+    registration order and must not raise; telemetry hooks attach here so
+    the engine itself stays free of any telemetry dependency. *)

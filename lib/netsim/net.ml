@@ -23,6 +23,13 @@ type link = {
   mutable busy_until_ba : float;
 }
 
+type drop_cause = Link_down | Random_loss
+
+type link_event =
+  | Tx of { link : link_id; src : node; size_bytes : int; wait_s : float }
+  | Rx of { link : link_id; dst : node; size_bytes : int }
+  | Drop of { link : link_id; src : node; size_bytes : int; cause : drop_cause }
+
 type t = {
   rng : Rng.t;
   mutable names : string array;
@@ -31,6 +38,7 @@ type t = {
   mutable links : link array;
   mutable nlinks : int;
   mutable adjacency : link_id list array;  (** per node *)
+  mutable monitor : (link_event -> unit) option;
 }
 
 let create ~rng =
@@ -42,7 +50,12 @@ let create ~rng =
     links = [||];
     nlinks = 0;
     adjacency = Array.make 16 [];
+    monitor = None;
   }
+
+let set_monitor t f = t.monitor <- Some f
+let clear_monitor t = t.monitor <- None
+let notify t ev = match t.monitor with Some f -> f ev | None -> ()
 
 let add_node t name =
   if Hashtbl.mem t.name_index name then
@@ -128,19 +141,31 @@ let path_base_latency t ids =
 
 let transmit t engine id ~from ~size_bytes ~on_arrival =
   let l = get t id in
-  if l.up && not (l.p.loss > 0.0 && Rng.float t.rng 1.0 < l.p.loss) then begin
+  let dst =
+    if from = l.a then l.b
+    else if from = l.b then l.a
+    else invalid_arg "Net.transmit: sender is not an endpoint"
+  in
+  (* Ordering matters for determinism: a down link must not consume an RNG
+     draw, and the loss draw happens exactly once per send attempt. *)
+  if not l.up then notify t (Drop { link = id; src = from; size_bytes; cause = Link_down })
+  else if l.p.loss > 0.0 && Rng.float t.rng 1.0 < l.p.loss then
+    notify t (Drop { link = id; src = from; size_bytes; cause = Random_loss })
+  else begin
     let now = Engine.now engine in
     let serialization = float_of_int size_bytes *. 8.0 /. (l.p.bandwidth_mbps *. 1e6) in
-    let start, set_busy =
-      if from = l.a then
-        (Float.max now l.busy_until_ab, fun v -> l.busy_until_ab <- v)
-      else if from = l.b then (Float.max now l.busy_until_ba, fun v -> l.busy_until_ba <- v)
-      else invalid_arg "Net.transmit: sender is not an endpoint"
+    let busy_until, set_busy =
+      if from = l.a then (l.busy_until_ab, fun v -> l.busy_until_ab <- v)
+      else (l.busy_until_ba, fun v -> l.busy_until_ba <- v)
     in
+    let start = Float.max now busy_until in
     let done_sending = start +. serialization in
     set_busy done_sending;
+    notify t (Tx { link = id; src = from; size_bytes; wait_s = start -. now });
     let arrival = done_sending +. (one_way_ms t l /. 1000.0) in
-    Engine.schedule_at engine ~time:arrival on_arrival
+    Engine.schedule_at engine ~time:arrival (fun () ->
+      notify t (Rx { link = id; dst; size_bytes });
+      on_arrival ())
   end
 
 (* Uniform-cost search over up links; [weight] chooses the metric. *)

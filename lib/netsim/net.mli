@@ -60,6 +60,28 @@ val path_base_latency : t -> link_id list -> float
 (** Sum of base + extra latencies, one way, no jitter — the deterministic
     component used for path ranking. *)
 
+(** {1 Link monitoring}
+
+    A monitor observes every packet-level send attempt: [Tx] when a packet
+    starts serialising (with the FIFO wait it incurred), [Rx] when it is
+    delivered (emitted just before the arrival callback runs), and [Drop]
+    when the link was down or the loss draw failed. Attaching or detaching
+    a monitor never changes simulation behaviour — in particular, the RNG
+    draw sequence is identical with and without one. *)
+
+type drop_cause = Link_down | Random_loss
+
+type link_event =
+  | Tx of { link : link_id; src : node; size_bytes : int; wait_s : float }
+      (** [wait_s] is the serialisation-queue wait in seconds. *)
+  | Rx of { link : link_id; dst : node; size_bytes : int }
+  | Drop of { link : link_id; src : node; size_bytes : int; cause : drop_cause }
+
+val set_monitor : t -> (link_event -> unit) -> unit
+(** Install the monitor (replacing any previous one). *)
+
+val clear_monitor : t -> unit
+
 val transmit :
   t ->
   Engine.t ->

@@ -1,0 +1,199 @@
+(* Snapshot exporters: a canonical JSONL encoding (one header line plus one
+   metric object per line, everything in sorted order with round-tripping
+   float representation, so equal runs serialise byte-identically), a
+   parser for it, and an aligned-text renderer for interactive tools. *)
+
+module Table = Scion_util.Table
+
+let schema = "sciera.telemetry/1"
+
+let labels_to_json labels =
+  let fields =
+    List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (Json.escape k) (Json.escape v)) labels
+  in
+  "{" ^ String.concat "," fields ^ "}"
+
+let float_arr_to_json a =
+  "[" ^ String.concat "," (Array.to_list (Array.map Json.float_repr a)) ^ "]"
+
+let int_arr_to_json a =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+let quantile_key p =
+  (* 50.0 -> "p50", 99.9 -> "p99.9": trim a trailing ".0" for whole
+     percentiles so keys stay the conventional p50/p90/p99. *)
+  let s = Json.float_repr p in
+  "p" ^ s
+
+let sample_to_json (s : Metrics.sample) =
+  let head =
+    Printf.sprintf "{\"name\":\"%s\",\"labels\":%s" (Json.escape s.Metrics.sample_name)
+      (labels_to_json s.Metrics.sample_labels)
+  in
+  let body =
+    match s.Metrics.value with
+    | Metrics.Counter n -> Printf.sprintf ",\"type\":\"counter\",\"value\":%d" n
+    | Metrics.Gauge v -> Printf.sprintf ",\"type\":\"gauge\",\"value\":%s" (Json.float_repr v)
+    | Metrics.Histogram { upper; counts; overflow; count; sum } ->
+        Printf.sprintf ",\"type\":\"histogram\",\"le\":%s,\"counts\":%s,\"overflow\":%d,\"count\":%d,\"sum\":%s"
+          (float_arr_to_json upper) (int_arr_to_json counts) overflow count (Json.float_repr sum)
+    | Metrics.Summary { count; sum; quantiles } ->
+        let qs =
+          Array.to_list
+            (Array.map
+               (fun (p, v) -> Printf.sprintf "\"%s\":%s" (quantile_key p) (Json.float_repr v))
+               quantiles)
+        in
+        Printf.sprintf ",\"type\":\"summary\",\"count\":%d,\"sum\":%s,\"quantiles\":{%s}" count
+          (Json.float_repr sum) (String.concat "," qs)
+  in
+  head ^ body ^ "}"
+
+let samples_to_json samples =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{\"schema\":\"%s\"}\n" schema);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (sample_to_json s);
+      Buffer.add_char buf '\n')
+    samples;
+  Buffer.contents buf
+
+let to_json registry = samples_to_json (Metrics.snapshot registry)
+
+(* --- Parsing back --- *)
+
+let ( let* ) r f = Result.bind r f
+
+let require what = function Some v -> Ok v | None -> Error (Printf.sprintf "missing %s" what)
+
+let labels_of_json = function
+  | Some (Json.Obj fields) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, Json.Str v) :: rest -> go ((k, v) :: acc) rest
+        | (k, _) :: _ -> Error (Printf.sprintf "label %S is not a string" k)
+      in
+      go [] fields
+  | Some _ -> Error "labels is not an object"
+  | None -> Ok []
+
+let num_field key v =
+  let* n = require key (Option.bind (Json.member key v) Json.to_num_opt) in
+  Ok n
+
+let int_field key v =
+  let* n = num_field key v in
+  Ok (int_of_float n)
+
+let num_array_field key v =
+  match Json.member key v with
+  | Some (Json.Arr items) ->
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | Json.Num n :: rest -> go (n :: acc) rest
+        | _ :: _ -> Error (Printf.sprintf "%s contains a non-number" key)
+      in
+      go [] items
+  | Some _ -> Error (Printf.sprintf "%s is not an array" key)
+  | None -> Error (Printf.sprintf "missing %s" key)
+
+let quantiles_of_json v =
+  match Json.member "quantiles" v with
+  | Some (Json.Obj fields) ->
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | (k, Json.Num q) :: rest ->
+            if String.length k >= 2 && k.[0] = 'p' then
+              let digits = String.sub k 1 (String.length k - 1) in
+              (match float_of_string_opt digits with
+              | Some p -> go ((p, q) :: acc) rest
+              | None -> Error (Printf.sprintf "bad quantile key %S" k))
+            else Error (Printf.sprintf "bad quantile key %S" k)
+        | (k, _) :: _ -> Error (Printf.sprintf "quantile %S is not a number" k)
+      in
+      go [] fields
+  | Some _ -> Error "quantiles is not an object"
+  | None -> Error "missing quantiles"
+
+let sample_of_json v =
+  let* name = require "name" (Option.bind (Json.member "name" v) Json.to_string_opt) in
+  let* labels = labels_of_json (Json.member "labels" v) in
+  let* kind = require "type" (Option.bind (Json.member "type" v) Json.to_string_opt) in
+  let* value =
+    match kind with
+    | "counter" ->
+        let* n = int_field "value" v in
+        Ok (Metrics.Counter n)
+    | "gauge" ->
+        let* g = num_field "value" v in
+        Ok (Metrics.Gauge g)
+    | "histogram" ->
+        let* upper = num_array_field "le" v in
+        let* counts_f = num_array_field "counts" v in
+        let* overflow = int_field "overflow" v in
+        let* count = int_field "count" v in
+        let* sum = num_field "sum" v in
+        Ok
+          (Metrics.Histogram
+             { upper; counts = Array.map int_of_float counts_f; overflow; count; sum })
+    | "summary" ->
+        let* count = int_field "count" v in
+        let* sum = num_field "sum" v in
+        let* quantiles = quantiles_of_json v in
+        Ok (Metrics.Summary { count; sum; quantiles })
+    | other -> Error (Printf.sprintf "unknown metric type %S" other)
+  in
+  Ok { Metrics.sample_name = name; sample_labels = labels; value }
+
+let of_json text =
+  let lines =
+    List.filter (fun l -> String.length (String.trim l) > 0) (String.split_on_char '\n' text)
+  in
+  match lines with
+  | [] -> Error "empty snapshot"
+  | header :: rest ->
+      let* hv = Json.parse header in
+      let* s = require "schema" (Option.bind (Json.member "schema" hv) Json.to_string_opt) in
+      if not (String.equal s schema) then Error (Printf.sprintf "unsupported schema %S" s)
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest ->
+              let* v = Json.parse line in
+              let* sample = sample_of_json v in
+              go (sample :: acc) rest
+        in
+        go [] rest
+
+(* --- Human-readable rendering --- *)
+
+let labels_to_text = function
+  | [] -> "-"
+  | labels -> String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let value_summary = function
+  | Metrics.Counter n -> ("counter", string_of_int n)
+  | Metrics.Gauge v -> ("gauge", Json.float_repr v)
+  | Metrics.Histogram { count; overflow; sum; _ } ->
+      ("histogram", Printf.sprintf "count=%d overflow=%d sum=%s" count overflow (Json.float_repr sum))
+  | Metrics.Summary { count; sum; quantiles } ->
+      let qs =
+        Array.to_list
+          (Array.map (fun (p, v) -> Printf.sprintf "%s=%s" (quantile_key p) (Json.float_repr v)) quantiles)
+      in
+      ("summary", Printf.sprintf "count=%d sum=%s %s" count (Json.float_repr sum) (String.concat " " qs))
+
+let render registry =
+  let rows =
+    List.map
+      (fun (s : Metrics.sample) ->
+        let kind, v = value_summary s.Metrics.value in
+        [ s.Metrics.sample_name; labels_to_text s.Metrics.sample_labels; kind; v ])
+      (Metrics.snapshot registry)
+  in
+  Table.render ~header:[ "metric"; "labels"; "type"; "value" ] ~rows
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

@@ -1,0 +1,24 @@
+(** Snapshot exporters.
+
+    The JSON format is line-oriented: a header line
+    [{"schema":"sciera.telemetry/1"}] followed by one canonical JSON object
+    per metric, in the sorted order of {!Metrics.snapshot}. Identical
+    registries serialise byte-identically, so experiment telemetry can be
+    diffed and checked in. *)
+
+val schema : string
+
+val to_json : Metrics.registry -> string
+(** Serialise a snapshot of the registry. *)
+
+val samples_to_json : Metrics.sample list -> string
+(** Serialise an explicit sample list (e.g. a filtered snapshot). *)
+
+val of_json : string -> (Metrics.sample list, string) result
+(** Parse a snapshot produced by {!to_json}; rejects unknown schemas. *)
+
+val render : Metrics.registry -> string
+(** Aligned plain-text table of every series — the [scion-top] view. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] writes (truncating) [contents] to [path]. *)

@@ -1,0 +1,202 @@
+(* Minimal JSON support for the telemetry exporters: canonical writers
+   (stable float representation, escaped strings) and a recursive-descent
+   parser for the subset the exporters emit. Having our own round-trip
+   keeps the snapshot format testable without external dependencies. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Shortest decimal representation that round-trips through
+   [float_of_string]; deterministic for a given float, so snapshots of
+   identical runs are byte-identical. *)
+let float_repr f =
+  let exact p =
+    let s = Printf.sprintf "%.*g" p f in
+    if Float.equal (float_of_string s) f then Some s else None
+  in
+  match exact 12 with
+  | Some s -> s
+  | None -> ( match exact 15 with Some s -> s | None -> Printf.sprintf "%.17g" f)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Malformed of string * int
+
+type cursor = { src : string; mutable pos : int }
+
+let error cur msg = raise (Malformed (msg, cur.pos))
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      skip_ws cur
+  | Some _ | None -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some got when got = c -> advance cur
+  | Some got -> error cur (Printf.sprintf "expected %c, found %c" c got)
+  | None -> error cur (Printf.sprintf "expected %c, found end of input" c)
+
+let literal cur word value =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else error cur (Printf.sprintf "expected %s" word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> error cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | Some '"' -> advance cur; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance cur; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance cur; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance cur; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance cur; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance cur; Buffer.add_char buf '\r'; go ()
+        | Some 'u' ->
+            advance cur;
+            if cur.pos + 4 > String.length cur.src then error cur "truncated \\u escape";
+            let hex = String.sub cur.src cur.pos 4 in
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> error cur (Printf.sprintf "bad \\u escape %S" hex)
+            in
+            cur.pos <- cur.pos + 4;
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else error cur "non-ASCII \\u escape unsupported";
+            go ()
+        | Some c -> error cur (Printf.sprintf "bad escape \\%c" c)
+        | None -> error cur "unterminated escape")
+    | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek cur with
+    | Some c when number_char c ->
+        advance cur;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let s = String.sub cur.src start (cur.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> error cur (Printf.sprintf "bad number %S" s)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws cur;
+          let key = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance cur;
+              List.rev ((key, v) :: acc)
+          | Some c -> error cur (Printf.sprintf "expected , or } in object, found %c" c)
+          | None -> error cur "unterminated object"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              elements (v :: acc)
+          | Some ']' ->
+              advance cur;
+              List.rev (v :: acc)
+          | Some c -> error cur (Printf.sprintf "expected , or ] in array, found %c" c)
+          | None -> error cur "unterminated array"
+        in
+        Arr (elements [])
+      end
+  | Some '"' -> Str (parse_string cur)
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some ('0' .. '9' | '-') -> Num (parse_number cur)
+  | Some c -> error cur (Printf.sprintf "unexpected character %c" c)
+  | None -> error cur "empty input"
+
+let parse src =
+  let cur = { src; pos = 0 } in
+  match parse_value cur with
+  | v ->
+      skip_ws cur;
+      if cur.pos = String.length src then Ok v
+      else Error (Printf.sprintf "trailing garbage at offset %d" cur.pos)
+  | exception Malformed (msg, pos) -> Error (Printf.sprintf "%s at offset %d" msg pos)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_num_opt = function Num f -> Some f | _ -> None

@@ -1,0 +1,32 @@
+(** Minimal JSON reading and writing for the telemetry exporters.
+
+    The writers produce canonical output (sorted keys are the caller's
+    responsibility; floats use the shortest round-tripping representation)
+    so that two identical runs serialise byte-identically. The parser
+    accepts the subset of JSON the exporters emit and is used to round-trip
+    snapshots in tests and tooling. *)
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes in JSON. *)
+
+val float_repr : float -> string
+(** Shortest decimal representation that parses back ([float_of_string])
+    to exactly the same float. Deterministic per input. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. Only
+    ASCII [\u] escapes are supported (all the exporters emit). *)
+
+val member : string -> t -> t option
+(** [member key v] is the field [key] of object [v], if any. *)
+
+val to_string_opt : t -> string option
+val to_num_opt : t -> float option

@@ -1,0 +1,67 @@
+(* Leveled, sink-redirectable logging plus the sanctioned report-output
+   channel. This module is the one place in lib/ allowed to touch stdout /
+   stderr directly (scion-lint's naked-printf rule exempts lib/telemetry/):
+   everything else routes diagnostics through the level functions and
+   experiment/report output through [out]. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | s -> Result.Error (Printf.sprintf "unknown log level %S" s)
+
+let rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let threshold = ref Warn
+let set_level l = threshold := l
+let level () = !threshold
+let enabled l = rank l >= rank !threshold
+
+(* Diagnostics default to stderr so they interleave with, but do not
+   corrupt, report output on stdout. *)
+let diag_sink = ref (fun line -> prerr_string line)
+let report_sink = ref (fun s -> print_string s)
+
+let set_sink f = diag_sink := f
+let set_report_sink f = report_sink := f
+
+let logf lvl fmt =
+  Printf.ksprintf
+    (fun msg -> if enabled lvl then !diag_sink (Printf.sprintf "[%s] %s\n" (level_to_string lvl) msg))
+    fmt
+
+let debug fmt = logf Debug fmt
+let info fmt = logf Info fmt
+let warn fmt = logf Warn fmt
+let error fmt = logf Error fmt
+
+let out fmt = Printf.ksprintf (fun s -> !report_sink s) fmt
+
+let capture_report f =
+  let buf = Buffer.create 256 in
+  let saved = !report_sink in
+  report_sink := Buffer.add_string buf;
+  Fun.protect
+    ~finally:(fun () -> report_sink := saved)
+    (fun () ->
+      let v = f () in
+      (Buffer.contents buf, v))
+
+let capture_diagnostics f =
+  let buf = Buffer.create 256 in
+  let saved = !diag_sink in
+  diag_sink := Buffer.add_string buf;
+  Fun.protect
+    ~finally:(fun () -> diag_sink := saved)
+    (fun () ->
+      let v = f () in
+      (Buffer.contents buf, v))

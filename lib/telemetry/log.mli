@@ -1,0 +1,40 @@
+(** Leveled structured-ish logging and the sanctioned report channel.
+
+    [lib/] code must not print directly (scion-lint's [naked-printf] rule):
+    diagnostics go through {!debug}/{!info}/{!warn}/{!error} (stderr by
+    default, level-filtered, redirectable), and experiment/report output —
+    the tables and figures the harness emits — goes through {!out} (stdout
+    by default, redirectable, never filtered). Keeping the two streams
+    separate means diagnostics can be enabled without corrupting checked-in
+    report output. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> (level, string) result
+
+val set_level : level -> unit
+(** Default threshold is [Warn]. *)
+
+val level : unit -> level
+val enabled : level -> bool
+
+val set_sink : (string -> unit) -> unit
+(** Redirect diagnostic lines (each already newline-terminated). *)
+
+val set_report_sink : (string -> unit) -> unit
+(** Redirect report output (raw chunks, exactly as formatted). *)
+
+val debug : ('a, unit, string, unit) format4 -> 'a
+val info : ('a, unit, string, unit) format4 -> 'a
+val warn : ('a, unit, string, unit) format4 -> 'a
+val error : ('a, unit, string, unit) format4 -> 'a
+
+val out : ('a, unit, string, unit) format4 -> 'a
+(** Report output: the replacement for [Printf.printf] in [lib/]. *)
+
+val capture_report : (unit -> 'a) -> string * 'a
+(** Run [f] with report output captured into a buffer; restores the
+    previous sink afterwards (also on exceptions). *)
+
+val capture_diagnostics : (unit -> 'a) -> string * 'a

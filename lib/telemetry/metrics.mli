@@ -1,0 +1,99 @@
+(** Deterministic, simulated-clock-friendly metrics registry.
+
+    The registry holds labelled counters, gauges, fixed-bucket histograms
+    and quantile summaries. Handles are cheap mutable cells; registering
+    the same (name, labels) pair twice returns the same handle, so
+    instrumentation sites do not need to coordinate. Snapshots iterate in
+    ascending (name, sorted-labels) order — never in hash order — so a
+    snapshot of a seeded simulation is byte-stable across runs, which is
+    what lets experiments check in their telemetry output.
+
+    Nothing here reads a clock: time-derived metrics take their values from
+    the caller (simulated time from [Netsim.Engine.now]). *)
+
+type registry
+
+type labels = (string * string) list
+(** Label pairs. Stored sorted by key; duplicate keys are rejected with
+    [Invalid_argument]. *)
+
+val create : unit -> registry
+val size : registry -> int
+(** Number of registered (name, labels) series. *)
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter : registry -> ?labels:labels -> string -> counter
+(** Get or create. Raises [Invalid_argument] if the series exists with a
+    different metric kind, or on an empty name / duplicate label keys. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+(** Raises [Invalid_argument] on a negative increment. *)
+
+val counter_value : counter -> int
+
+(** {1 Gauges} — last-written float values. *)
+
+type gauge
+
+val gauge : registry -> ?labels:labels -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Fixed-bucket histograms} *)
+
+type histogram
+
+val histogram : registry -> ?labels:labels -> buckets:float list -> string -> histogram
+(** [buckets] are upper bounds, strictly increasing and non-empty
+    ([Invalid_argument] otherwise). An observation lands in the first
+    bucket whose bound is >= the value, or in the overflow bucket. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Quantile summaries} — keep every sample, answer percentiles. *)
+
+type summary
+
+val summary : registry -> ?labels:labels -> string -> summary
+val record : summary -> float -> unit
+val summary_count : summary -> int
+val summary_sum : summary -> float
+
+val quantile : summary -> float -> float option
+(** [quantile s p] is the [p]-th percentile ([0..100]) of everything
+    recorded so far, computed exactly as {!Scion_util.Stats.percentile};
+    [None] when nothing has been recorded. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      upper : float array;  (** bucket upper bounds *)
+      counts : int array;  (** per-bucket observation counts *)
+      overflow : int;
+      count : int;
+      sum : float;
+    }
+  | Summary of {
+      count : int;
+      sum : float;
+      quantiles : (float * float) array;  (** (percentile, value); see {!export_quantiles} *)
+    }
+
+type sample = { sample_name : string; sample_labels : labels; value : value }
+
+val export_quantiles : float array
+(** The percentiles every summary exports: 50, 90, 99. *)
+
+val snapshot : registry -> sample list
+(** Point-in-time copy of every series, in ascending (name, labels) order.
+    Deterministic for deterministic instrumentation. *)
+
+val find : registry -> ?labels:labels -> string -> value option
+(** Read one series without registering it. *)

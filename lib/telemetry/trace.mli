@@ -1,0 +1,48 @@
+(** Trace spans and structured events over the simulated clock.
+
+    Callers pass [~now] explicitly (typically [Netsim.Engine.now]); the
+    tracer never reads a wall clock. Each record gets a sequence number at
+    creation, so ordering is total and deterministic even when many records
+    share a simulated instant. [to_jsonl] renders one canonical JSON object
+    per line, with fields in sorted key order — byte-stable across seeded
+    runs. *)
+
+type t
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type record = {
+  seq : int;
+  name : string;
+  start_time : float;
+  end_time : float option;  (** [None] for point events *)
+  fields : (string * value) list;  (** sorted by key *)
+}
+
+val create : unit -> t
+val count : t -> int
+val clear : t -> unit
+
+val event : t -> now:float -> ?fields:(string * value) list -> string -> unit
+(** Record a point event at simulated time [now]. *)
+
+(** {1 Spans} *)
+
+type span
+
+val span : t -> now:float -> string -> span
+(** Open a span; nothing is recorded until {!finish}. *)
+
+val finish : span -> now:float -> ?fields:(string * value) list -> unit -> unit
+(** Close the span, recording start/end/duration. Raises [Invalid_argument]
+    if the span was already finished. *)
+
+val open_spans : t -> int
+
+(** {1 Serialisation} *)
+
+val to_jsonl : t -> string
+(** One JSON object per line, chronological (sequence) order. *)
+
+val records : t -> record list
+(** Chronological order. *)

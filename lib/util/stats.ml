@@ -17,7 +17,9 @@ let min_max xs =
 
 let sorted_copy xs =
   let ys = Array.copy xs in
-  Array.sort compare ys;
+  (* Float.compare, not polymorphic compare: the polymorphic version orders
+     nan via its bit pattern and boxes every element on the way through. *)
+  Array.sort Float.compare ys;
   ys
 
 let percentile xs p =
@@ -65,7 +67,7 @@ let cdf xs =
   done;
   (* Collapse duplicate values, keeping the highest fraction for each. *)
   let rec dedup = function
-    | (v1, _) :: ((v2, _) :: _ as rest) when v1 = v2 -> dedup rest
+    | (v1, _) :: ((v2, _) :: _ as rest) when Float.equal v1 v2 -> dedup rest
     | p :: rest -> p :: dedup rest
     | [] -> []
   in

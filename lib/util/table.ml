@@ -39,6 +39,7 @@ let render ~header ~rows =
   List.iter line rows;
   Buffer.contents buf
 
+(* scion-lint: allow naked-printf -- Table.print IS the sanctioned table renderer; telemetry depends on this module, not vice versa *)
 let print ~header ~rows = print_string (render ~header ~rows)
 let fmt_ms v = Printf.sprintf "%.1f" v
 let fmt_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)

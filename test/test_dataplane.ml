@@ -184,6 +184,7 @@ let neighbor_ia = ia "1-2:0:1"
 let mk_router () =
   Router.create ~ia:local_ia ~key
     ~ifaces:[ { Router.ifid = 1; remote_ia = neighbor_ia; remote_ifid = 7 } ]
+    ()
 
 let test_router_empty_path_delivery () =
   let r = mk_router () in
@@ -204,13 +205,14 @@ let test_router_empty_path_delivery () =
 let test_router_duplicate_iface () =
   let iface = { Router.ifid = 1; remote_ia = neighbor_ia; remote_ifid = 7 } in
   (try
-     ignore (Router.create ~ia:local_ia ~key ~ifaces:[ iface; iface ]);
+     ignore (Router.create ~ia:local_ia ~key ~ifaces:[ iface; iface ] ());
      Alcotest.fail "accepted duplicate"
    with Invalid_argument _ -> ());
   try
     ignore
       (Router.create ~ia:local_ia ~key
-         ~ifaces:[ { Router.ifid = 0; remote_ia = neighbor_ia; remote_ifid = 7 } ]);
+         ~ifaces:[ { Router.ifid = 0; remote_ia = neighbor_ia; remote_ifid = 7 } ]
+         ());
     Alcotest.fail "accepted ifid 0"
   with Invalid_argument _ -> ()
 

@@ -276,7 +276,7 @@ let test_conn_failover () =
   let conn =
     match
       Pan.Conn.dial ~policy:Pan.default_policy ~latency_of:(fun _ -> 1.0) ~transport
-        ~paths:[ p1; p2 ]
+        ~paths:[ p1; p2 ] ()
     with
     | Ok c -> c
     | Error e -> Alcotest.fail e
@@ -294,7 +294,7 @@ let test_conn_failover () =
   let conn2 =
     match
       Pan.Conn.dial ~policy:Pan.default_policy ~latency_of:(fun _ -> 1.0)
-        ~transport:dead_transport ~paths:[ p1; p2 ]
+        ~transport:dead_transport ~paths:[ p1; p2 ] ()
     with
     | Ok c -> c
     | Error e -> Alcotest.fail e
@@ -302,7 +302,7 @@ let test_conn_failover () =
   (match Pan.Conn.send conn2 ~payload:"x" with
   | Pan.Conn.Send_failed -> ()
   | Pan.Conn.Sent _ -> Alcotest.fail "dead transport delivered");
-  match Pan.Conn.dial ~policy:Pan.default_policy ~latency_of:(fun _ -> 1.0) ~transport ~paths:[] with
+  match Pan.Conn.dial ~policy:Pan.default_policy ~latency_of:(fun _ -> 1.0) ~transport ~paths:[] () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "dial with no paths succeeded"
 

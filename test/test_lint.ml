@@ -132,6 +132,27 @@ let test_ignored_result () =
   check_flags ~rule:"ignored-result" "let f x = ignore (Ok x)";
   check_clean "let f x = ignore (x + 1)"
 
+(* --- R7: print discipline ----------------------------------------------- *)
+
+let test_naked_printf () =
+  check_flags ~rule:"naked-printf" "let f () = Printf.printf \"x %d\\n\" 1";
+  check_flags ~rule:"naked-printf" "let f s = print_endline s";
+  check_flags ~rule:"naked-printf" "let f () = print_newline ()";
+  check_flags ~rule:"naked-printf" "let f s = prerr_endline s";
+  (* The sanctioned replacements are clean. *)
+  check_clean "let f () = Telemetry.Log.out \"x %d\\n\" 1";
+  check_clean "let f s = Log.warn \"%s\" s";
+  (* Printf.sprintf only formats, it does not print. *)
+  check_clean "let f x = Printf.sprintf \"%d\" x";
+  (* lib/telemetry/ implements the sinks and is exempt wholesale. *)
+  Alcotest.(check (list string)) "telemetry exempt" []
+    (rule_ids (lint ~file:"lib/telemetry/log.ml" "let f s = print_string s"));
+  (* Executables may print. *)
+  Alcotest.(check (list string)) "bin exempt" []
+    (rule_ids (lint ~file:"bin/tool.ml" "let () = print_endline \"hi\""));
+  Alcotest.(check (list string)) "bench exempt" []
+    (rule_ids (lint ~file:"bench/fixture.ml" "let () = Printf.printf \"%d\\n\" 1"))
+
 (* --- Suppression, severity, reporters ----------------------------------- *)
 
 (* Directives are assembled by concatenation so the linter never mistakes
@@ -216,6 +237,7 @@ let () =
           Alcotest.test_case "float-eq" `Quick test_float_eq;
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;
           Alcotest.test_case "ignored-result" `Quick test_ignored_result;
+          Alcotest.test_case "naked-printf" `Quick test_naked_printf;
         ] );
       ( "engine",
         [
