@@ -235,6 +235,52 @@ let micro ?(json = false) () =
          [ 4; 8; 16; 24 ]);
   print_newline ()
 
+(* --- Golden evidence ----------------------------------------------------- *)
+
+(* `main.exe golden [--promote] [--dir DIR]`: check (default) or refresh
+   the checked-in per-figure evidence under test/golden/. Checking exits
+   non-zero and prints unified diffs when any golden is stale; promoting
+   rewrites only the files that changed. *)
+let golden rest =
+  let rec dir_of = function
+    | "--dir" :: d :: _ -> d
+    | _ :: tl -> dir_of tl
+    | [] -> Filename.concat "test" "golden"
+  in
+  let dir = dir_of rest in
+  if List.mem "--promote" rest then begin
+    let results = Harness.Golden.promote ~dir () in
+    List.iter
+      (fun (path, status) ->
+        Printf.printf "%-9s %s\n" (Harness.Golden.status_to_string status) path)
+      results;
+    let count st = List.length (List.filter (fun (_, s) -> s = st) results) in
+    Printf.printf "\n%d created, %d updated, %d unchanged\n"
+      (count Harness.Golden.Created) (count Harness.Golden.Updated)
+      (count Harness.Golden.Unchanged)
+  end
+  else begin
+    let files = Harness.Golden.check ~dir () in
+    let stale = Harness.Golden.stale files in
+    List.iter
+      (fun (f : Harness.Golden.file) ->
+        Printf.printf "%-5s %s\n" (if Option.is_some f.diff then "STALE" else "ok") f.path)
+      files;
+    List.iter
+      (fun (f : Harness.Golden.file) ->
+        match f.diff with
+        | Some d -> Printf.printf "\n--- stale: %s ---\n%s" f.path d
+        | None -> ())
+      stale;
+    if stale <> [] then begin
+      Printf.printf
+        "\n%d of %d golden files stale; refresh with `dune exec bench/main.exe -- golden --promote`\n"
+        (List.length stale) (List.length files);
+      exit 1
+    end
+    else Printf.printf "\nall %d golden files match\n" (List.length files)
+  end
+
 (* --- Driver -------------------------------------------------------------- *)
 
 let run_artifact ~days ~json = function
@@ -275,6 +321,7 @@ let () =
   let json = List.mem "--json" args in
   let args = List.filter (fun a -> a <> "--json") args in
   match args with
+  | "golden" :: rest -> golden rest
   | [] ->
       Printf.printf "SCIERA reproduction — full evaluation run (Section 5)\n\n%!";
       List.iter (run_artifact ~days:Sciera.Incidents.window_days ~json) all_artifacts

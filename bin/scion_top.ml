@@ -4,6 +4,7 @@
    dune exec bin/scion_top.exe -- --days 3 --pings 5
    dune exec bin/scion_top.exe -- --json snapshot.json   # canonical JSONL
    dune exec bin/scion_top.exe -- --trace trace.jsonl    # span/event trace
+   dune exec bin/scion_top.exe -- --diff a.jsonl b.jsonl # what changed
 
    The simulation is deterministic: the same arguments always produce the
    same table and a byte-identical --json snapshot. *)
@@ -13,7 +14,26 @@ open Cmdliner
 let src_ia = Scion_addr.Ia.of_string "71-225"
 let dst_ia = Scion_addr.Ia.of_string "71-2:0:5c"
 
-let run days pings json_path trace_path =
+(* --diff: no simulation at all — parse two canonical JSONL snapshots
+   (from --json, or checked-in golden metrics) and print every series
+   that was added, removed or changed between them. *)
+let diff_snapshots path_a path_b =
+  let load path =
+    match Telemetry.Export.of_json (In_channel.with_open_bin path In_channel.input_all) with
+    | Ok samples -> samples
+    | Error e ->
+        Printf.eprintf "cannot parse %s: %s\n" path e;
+        exit 1
+  in
+  let before = load path_a in
+  let after = load path_b in
+  let changes = Telemetry.Export.diff_samples before after in
+  Printf.printf "scion-top --diff: %s -> %s (%d changed series)\n\n" path_a path_b
+    (List.length changes);
+  print_string (Telemetry.Export.render_diff changes);
+  0
+
+let simulate days pings json_path trace_path =
   let obs = Sciera.Obs.create () in
   let trace = Sciera.Obs.trace obs in
   let net = Sciera.Network.create ~telemetry:obs () in
@@ -68,9 +88,28 @@ let json_path =
 let trace_path =
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc:"Write the span/event trace (JSONL) to $(docv)." ~docv:"FILE")
 
+let diff_mode =
+  Arg.(
+    value & flag
+    & info [ "diff" ]
+        ~doc:"Compare two JSONL metrics snapshots and print every changed series; skips the simulation.")
+
+let snapshot_files = Arg.(value & pos_all file [] & info [] ~docv:"SNAPSHOT")
+
+let run days pings json_path trace_path diff files =
+  match (diff, files) with
+  | true, [ a; b ] -> diff_snapshots a b
+  | true, _ ->
+      Printf.eprintf "--diff needs exactly two snapshot files (before after)\n";
+      1
+  | false, _ :: _ ->
+      Printf.eprintf "positional arguments only make sense with --diff\n";
+      1
+  | false, [] -> simulate days pings json_path trace_path
+
 let cmd =
   Cmd.v
     (Cmd.info "scion-top" ~doc:"Render the telemetry registry of a seeded SCIERA run")
-    Term.(const run $ days $ pings $ json_path $ trace_path)
+    Term.(const run $ days $ pings $ json_path $ trace_path $ diff_mode $ snapshot_files)
 
 let () = exit (Cmd.eval' cmd)

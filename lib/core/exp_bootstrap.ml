@@ -52,8 +52,19 @@ let make_server () =
   ( { Boot.endpoint = Scion_addr.Ipv4.endpoint_of_string "192.168.1.1:8041"; topology; trcs = [ trc ] },
     pub )
 
-let run ?(runs = 30) ?(seed = 0xB007L) () =
+let run ?(runs = 30) ?(seed = 0xB007L) ?telemetry () =
   let server, as_key = make_server () in
+  (* No Network underneath this experiment: the metrics evidence is the
+     timing distribution itself, one summary per OS and stage. *)
+  let record_stage =
+    match telemetry with
+    | None -> fun ~os:_ ~stage:_ _ -> ()
+    | Some obs ->
+        let module M = Telemetry.Metrics in
+        let reg = Obs.registry obs in
+        fun ~os ~stage ms ->
+          M.record (M.summary reg ~labels:[ ("os", os); ("stage", stage) ] "exp.fig4.latency_ms") ms
+  in
   let per_os =
     List.map
       (fun os ->
@@ -70,7 +81,11 @@ let run ?(runs = 30) ?(seed = 0xB007L) () =
                 | Ok (_, _, timing) ->
                     hints := timing.Boot.hint_ms :: !hints;
                     configs := timing.Boot.config_ms :: !configs;
-                    totals := timing.Boot.total_ms :: !totals
+                    totals := timing.Boot.total_ms :: !totals;
+                    let os = Boot.os_name os in
+                    record_stage ~os ~stage:"hint" timing.Boot.hint_ms;
+                    record_stage ~os ~stage:"config" timing.Boot.config_ms;
+                    record_stage ~os ~stage:"total" timing.Boot.total_ms
                 | Error e -> failwith (Boot.error_to_string e)
               done)
           Hints.all;

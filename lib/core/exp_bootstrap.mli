@@ -15,6 +15,10 @@ type result = {
   all_medians_under_ms : float;
 }
 
-val run : ?runs:int -> ?seed:int64 -> unit -> result
+val run : ?runs:int -> ?seed:int64 -> ?telemetry:Obs.t -> unit -> result
+(** [?telemetry] records every timing sample into
+    [exp.fig4.latency_ms{os,stage}] summaries — this experiment runs no
+    network, so the distribution is the figure's metrics evidence. *)
+
 val print_fig4 : result -> unit
 val print_table2 : unit -> unit

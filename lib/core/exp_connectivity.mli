@@ -30,7 +30,17 @@ type result = {
 }
 
 val run :
-  ?days:float -> ?config:Multiping.config -> ?seed:int64 -> ?verify_pcbs:bool -> unit -> result
+  ?days:float ->
+  ?config:Multiping.config ->
+  ?seed:int64 ->
+  ?verify_pcbs:bool ->
+  ?telemetry:Obs.t ->
+  unit ->
+  result
+(** [?telemetry] threads an observability bundle through the underlying
+    {!Network.create}, so the campaign's router/beacon/link counters land in
+    the bundle's registry — the per-figure metrics evidence the golden
+    harness checks in. Attaching telemetry never changes RNG draw order. *)
 
 val print_fig5 : result -> unit
 val print_fig6 : result -> unit

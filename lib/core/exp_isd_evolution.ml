@@ -42,8 +42,8 @@ type result = {
   regional_domains : (string * int) list;
 }
 
-let run ?seed () =
-  let net = Network.create ?seed ~per_origin:6 ~verify_pcbs:false () in
+let run ?seed ?telemetry () =
+  let net = Network.create ?seed ~per_origin:6 ~verify_pcbs:false ?telemetry () in
   let all = List.map (fun (a : Topology.as_info) -> a.Topology.ia) Topology.ases in
   let pairs =
     List.concat_map
@@ -81,6 +81,23 @@ let run ?seed () =
   let regional_domains =
     List.map (fun s -> (s.failed_domain, s.dead_ases)) regional
   in
+  (match telemetry with
+  | None -> ()
+  | Some obs ->
+      let module M = Telemetry.Metrics in
+      let reg = Obs.registry obs in
+      let publish governance scenarios =
+        List.iter
+          (fun s ->
+            M.set
+              (M.gauge reg
+                 ~labels:[ ("domain", s.failed_domain); ("governance", governance) ]
+                 "exp.isd.pairs_lost")
+              s.pairs_lost)
+          scenarios
+      in
+      publish "single" single;
+      publish "regional" regional);
   { single; regional; single_avg_blast = avg single; regional_avg_blast = avg regional; regional_domains }
 
 let print_report r =

@@ -32,5 +32,9 @@ type result = {
   regional_domains : (string * int) list;  (** (domain, ASes governed). *)
 }
 
-val run : ?seed:int64 -> unit -> result
+val run : ?seed:int64 -> ?telemetry:Obs.t -> unit -> result
+(** [?telemetry] instruments the underlying network and additionally
+    publishes one [exp.isd.pairs_lost{domain,governance}] gauge per
+    scenario. *)
+
 val print_report : result -> unit

@@ -27,8 +27,8 @@ let weighted_median obs =
   in
   go 0.0 sorted
 
-let run ?seed ?(per_origin = 16) ?(verify_pcbs = false) () =
-  let net = Network.create ?seed ~per_origin ~verify_pcbs () in
+let run ?seed ?(per_origin = 16) ?(verify_pcbs = false) ?telemetry () =
+  let net = Network.create ?seed ~per_origin ~verify_pcbs ?telemetry () in
   let ases = Topology.fig8_ases in
   let n = List.length ases in
   let arr = Array.of_list ases in

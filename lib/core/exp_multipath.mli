@@ -24,7 +24,12 @@ type result = {
   best_pair : Scion_addr.Ia.t * Scion_addr.Ia.t * int;  (** Paper: > 100. *)
 }
 
-val run : ?seed:int64 -> ?per_origin:int -> ?verify_pcbs:bool -> unit -> result
+val run :
+  ?seed:int64 -> ?per_origin:int -> ?verify_pcbs:bool -> ?telemetry:Obs.t -> unit -> result
+(** [?telemetry] instruments the underlying network (see
+    {!Exp_connectivity.run}); the epoch sweep's control-plane and data-plane
+    counters become the figure's checked-in metrics evidence. *)
+
 val print_fig8 : result -> unit
 val print_fig9 : result -> unit
 val print_fig10a : result -> unit

@@ -39,7 +39,7 @@ let build_fabric rng =
     Topology.links;
   (net, nodes)
 
-let run ?(runs = 100) ?(seed = 0xF1C5EEDL) () =
+let run ?(runs = 100) ?(seed = 0xF1C5EEDL) ?telemetry () =
   let rng = Rng.create seed in
   let probe = build_fabric (Rng.split rng) in
   let net0, nodes0 = probe in
@@ -101,12 +101,28 @@ let run ?(runs = 100) ?(seed = 0xF1C5EEDL) () =
     done
   done;
   let runs_f = float_of_int runs in
-  {
-    fractions_removed = Array.init steps (fun i -> float_of_int i /. float_of_int nlinks);
-    multipath_connectivity = Array.map (fun v -> v /. runs_f) multi;
-    singlepath_connectivity = Array.map (fun v -> v /. runs_f) single;
-    runs;
-  }
+  let result =
+    {
+      fractions_removed = Array.init steps (fun i -> float_of_int i /. float_of_int nlinks);
+      multipath_connectivity = Array.map (fun v -> v /. runs_f) multi;
+      singlepath_connectivity = Array.map (fun v -> v /. runs_f) single;
+      runs;
+    }
+  in
+  (* This experiment owns its fabric rather than a full Network, so the
+     stack-level instrumentation never sees it; publish the sweep itself. *)
+  (match telemetry with
+  | None -> ()
+  | Some obs ->
+      let module M = Telemetry.Metrics in
+      let reg = Obs.registry obs in
+      M.add (M.counter reg "exp.fig10c.runs") runs;
+      M.add (M.counter reg "exp.fig10c.links") nlinks;
+      let m_conn = M.summary reg ~labels:[ ("mode", "multipath") ] "exp.fig10c.connectivity" in
+      let s_conn = M.summary reg ~labels:[ ("mode", "singlepath") ] "exp.fig10c.connectivity" in
+      Array.iter (M.record m_conn) result.multipath_connectivity;
+      Array.iter (M.record s_conn) result.singlepath_connectivity);
+  result
 
 
 let connectivity_at r fraction =

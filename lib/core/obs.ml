@@ -47,5 +47,6 @@ let wire_fabric t ~name net =
     | Net.Drop { cause = Net.Link_down; _ } -> M.inc drop_down
     | Net.Drop { cause = Net.Random_loss; _ } -> M.inc drop_loss)
 
+let samples t = M.snapshot t.registry
 let snapshot_json t = Telemetry.Export.to_json t.registry
 let render t = Telemetry.Export.render t.registry

@@ -20,6 +20,11 @@ val wire_fabric : t -> name:string -> Netsim.Net.t -> unit
     [net.serialisation_wait_s] histogram, all labelled [net=<name>].
     Replaces any previously installed monitor on the fabric. *)
 
+val samples : t -> Telemetry.Metrics.sample list
+(** Point-in-time sample list of the bundle's registry, in the canonical
+    sorted order of {!Telemetry.Metrics.snapshot} — what the evidence
+    harness merges with its per-figure headline series. *)
+
 val snapshot_json : t -> string
 (** Canonical JSONL snapshot ({!Telemetry.Export.to_json}) — byte-identical
     across reruns of the same seeded simulation. *)

@@ -1,0 +1,15 @@
+(** Minimal line-based unified diff.
+
+    Powers the golden-evidence regression messages: when a regenerated
+    table or metrics snapshot stops matching its checked-in golden, the
+    failure shows [-expected]/[+actual] hunks instead of two opaque
+    blobs. Missing trailing newlines are made visible the way diff(1)
+    annotates them, so byte equality and line equality coincide. *)
+
+val unified :
+  ?context:int -> ?label_a:string -> ?label_b:string -> string -> string -> string option
+(** [unified a b] is [None] when the strings are byte-identical, and
+    [Some diff] otherwise — a unified diff with [context] kept lines
+    (default 3) around each change and a [--- label_a] / [+++ label_b]
+    header. Worst-case inputs degrade to a single replace hunk rather
+    than an unbounded LCS table. *)

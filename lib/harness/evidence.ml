@@ -1,0 +1,326 @@
+(* Golden evidence for every figure and table of EXPERIMENTS.md: the
+   rendered result table in canonical text plus a telemetry snapshot
+   scoped to that figure's run, both byte-stable for the fixed seeds.
+
+   Figures that share a dataset (the connectivity campaign behind
+   Figures 5-7, the epoch sweep behind Figures 8-10b) share one memoised
+   run per process — the stack-level samples are identical across those
+   figures by construction, and each figure adds its own
+   [exp.<figure>.<key>] headline gauges on top.
+
+   Evidence scale is deliberately smaller than the full EXPERIMENTS.md
+   run so the tier-1 golden suite stays fast: 4 simulated days of
+   multiping instead of 20 (the shape claims survive, the wall-clock
+   drops ~5x) and 25 link-failure runs instead of 100. The multipath
+   sweep keeps its full per_origin = 16: fewer origins would drop the
+   best pair below the paper's ">100 paths" claim. *)
+
+module M = Telemetry.Metrics
+module Export = Telemetry.Export
+module Log = Telemetry.Log
+module Table = Scion_util.Table
+
+type t = { id : string; title : string; table : string; metrics : string }
+
+let figures =
+  [
+    ("table1", "Table 1: SCIERA PoPs and collaborating networks");
+    ("fig3", "Figure 3: deployment timeline and per-AS effort");
+    ("fig4", "Figure 4: end-host bootstrapping latency per platform");
+    ("table2", "Table 2: hinting mechanisms vs network environment");
+    ("app_effort", "Section 5.2: application enablement effort");
+    ("fig5", "Figure 5: SCION vs IP RTT distributions");
+    ("fig6", "Figure 6: per-pair RTT ratio CDF");
+    ("fig7", "Figure 7: RTT ratio over time");
+    ("fig8", "Figure 8: maximum active paths per AS pair");
+    ("fig9", "Figure 9: median deviation from maximum paths");
+    ("fig10a", "Figure 10a: latency inflation CDF");
+    ("fig10b", "Figure 10b: path disjointness CDF");
+    ("fig10c", "Figure 10c: connectivity under link failure");
+    ("survey", "Section 5.6: operator survey");
+    ("isd_evolution", "Section 3.3: ISD evolution blast radius");
+  ]
+
+let ids = List.map fst figures
+
+let title_of id =
+  match List.assoc_opt id figures with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Evidence.run: unknown figure %S" id)
+
+(* --- Evidence scale (documented in EXPERIMENTS.md, "Recording") ------- *)
+
+let connectivity_days = 4.0
+let resilience_runs = 25
+
+(* --- Memoised datasets ------------------------------------------------ *)
+
+let connectivity =
+  lazy
+    (let obs = Sciera.Obs.create () in
+     let r = Sciera.Exp_connectivity.run ~days:connectivity_days ~telemetry:obs () in
+     (r, Sciera.Obs.samples obs))
+
+let multipath =
+  lazy
+    (let obs = Sciera.Obs.create () in
+     let r = Sciera.Exp_multipath.run ~telemetry:obs () in
+     (r, Sciera.Obs.samples obs))
+
+let resilience =
+  lazy
+    (let obs = Sciera.Obs.create () in
+     let r = Sciera.Exp_resilience.run ~runs:resilience_runs ~telemetry:obs () in
+     (r, Sciera.Obs.samples obs))
+
+let bootstrap =
+  lazy
+    (let obs = Sciera.Obs.create () in
+     let r = Sciera.Exp_bootstrap.run ~telemetry:obs () in
+     (r, Sciera.Obs.samples obs))
+
+let isd_evolution =
+  lazy
+    (let obs = Sciera.Obs.create () in
+     let r = Sciera.Exp_isd_evolution.run ~telemetry:obs () in
+     (r, Sciera.Obs.samples obs))
+
+(* --- Assembly --------------------------------------------------------- *)
+
+let sample_key (s : M.sample) = (s.M.sample_name, s.M.sample_labels)
+
+let headline_table headline =
+  Table.render ~header:[ "headline"; "value" ]
+    ~rows:(List.map (fun (k, v) -> [ k; Table.fmt_float v ]) headline)
+
+(* [headline] becomes both the table footer (rendered with the canonical
+   %.6g of Table.fmt_float) and one exp.<id>.<key> gauge per entry in the
+   metrics snapshot, merged with the dataset's stack-level samples. *)
+let make ~id ~samples:stack_samples ~headline print =
+  let title = title_of id in
+  let reg = M.create () in
+  List.iter (fun (k, v) -> M.set (M.gauge reg (Printf.sprintf "exp.%s.%s" id k)) v) headline;
+  let all = List.sort (fun a b -> compare (sample_key a) (sample_key b)) (stack_samples @ M.snapshot reg) in
+  let body, () = Log.capture_report print in
+  let table =
+    Printf.sprintf "== %s ==\n%s-- headline (canonical %%.6g floats) --\n%s" title body
+      (headline_table headline)
+  in
+  { id; title; table; metrics = Export.samples_to_json all }
+
+(* --- Per-figure runners ----------------------------------------------- *)
+
+let print_table1 () =
+  Table.print ~header:[ "Location"; "Peering NRENs"; "Partner Networks" ]
+    ~rows:(List.map (fun (a, b, c) -> [ a; b; c ]) Sciera.Topology.pops);
+  Log.out "%d ASes in the modelled deployment, %d Layer-2 links\n"
+    (List.length Sciera.Topology.ases)
+    (List.length Sciera.Topology.links)
+
+let table1 () =
+  make ~id:"table1" ~samples:[]
+    ~headline:
+      [
+        ("pops", float_of_int (List.length Sciera.Topology.pops));
+        ("ases", float_of_int (List.length Sciera.Topology.ases));
+        ("links", float_of_int (List.length Sciera.Topology.links));
+      ]
+    print_table1
+
+let fig3 () =
+  let open Sciera.Deployment in
+  (* Learning-curve headline: relative effort drop from the first to the
+     last deployment of each kind with at least two instances. *)
+  let drop k =
+    let efforts =
+      List.filter_map (fun s -> if s.event.kind = k then Some s.effort else None) scored_timeline
+    in
+    match efforts with
+    | first :: (_ :: _ as rest) -> (
+        match List.rev rest with last :: _ -> Some (1.0 -. (last /. first)) | [] -> None)
+    | _ -> None
+  in
+  let kinds =
+    [
+      (Core_backbone, "core_backbone_effort_drop");
+      (Nren_attach, "nren_attach_effort_drop");
+      (Campus_vlan, "campus_vlan_effort_drop");
+      (Reused_circuit, "reused_circuit_effort_drop");
+    ]
+  in
+  let drops = List.filter_map (fun (k, key) -> Option.map (fun d -> (key, d)) (drop k)) kinds in
+  make ~id:"fig3" ~samples:[]
+    ~headline:(("deployments", float_of_int (List.length timeline)) :: drops)
+    print_fig3
+
+let fig4 () =
+  let r, samples = Lazy.force bootstrap in
+  let per_os =
+    List.map
+      (fun (s : Sciera.Exp_bootstrap.os_summary) ->
+        ( String.lowercase_ascii (Scion_endhost.Bootstrap.os_name s.os) ^ "_total_median_ms",
+          s.total.Scion_util.Stats.med ))
+      r.Sciera.Exp_bootstrap.per_os
+  in
+  make ~id:"fig4" ~samples
+    ~headline:
+      (("runs_per_mechanism", float_of_int r.Sciera.Exp_bootstrap.runs_per_mechanism)
+      :: ("all_medians_under_ms", r.Sciera.Exp_bootstrap.all_medians_under_ms)
+      :: per_os)
+    (fun () -> Sciera.Exp_bootstrap.print_fig4 r)
+
+let table2 () =
+  make ~id:"table2" ~samples:[]
+    ~headline:[ ("mechanisms", float_of_int (List.length Scion_endhost.Hints.all)) ]
+    Sciera.Exp_bootstrap.print_table2
+
+let app_effort () =
+  let total =
+    List.fold_left (fun acc c -> acc + c.Sciera.App_effort.loc_delta) 0 Sciera.App_effort.cases
+  in
+  make ~id:"app_effort" ~samples:[]
+    ~headline:
+      [
+        ("cases", float_of_int (List.length Sciera.App_effort.cases));
+        ("total_loc_delta", float_of_int total);
+      ]
+    Sciera.App_effort.print_app_effort
+
+let fig5 () =
+  let r, samples = Lazy.force connectivity in
+  let open Sciera.Exp_connectivity in
+  make ~id:"fig5" ~samples
+    ~headline:
+      [
+        ("scion_median_ms", r.scion_median);
+        ("ip_median_ms", r.ip_median);
+        ("scion_p90_ms", r.scion_p90);
+        ("ip_p90_ms", r.ip_p90);
+        ("kept_scion_pings", float_of_int (Array.length r.scion_rtts));
+        ("kept_ip_pings", float_of_int (Array.length r.ip_rtts));
+      ]
+    (fun () -> print_fig5 r)
+
+let fig6 () =
+  let r, samples = Lazy.force connectivity in
+  let open Sciera.Exp_connectivity in
+  make ~id:"fig6" ~samples
+    ~headline:
+      [
+        ("pairs", float_of_int (List.length r.pair_ratios));
+        ("frac_pairs_faster_on_scion", r.frac_pairs_faster_on_scion);
+        ("frac_pairs_inflation_le_25pct", r.frac_pairs_inflation_le_25pct);
+      ]
+    (fun () -> print_fig6 r)
+
+let fig7 () =
+  let r, samples = Lazy.force connectivity in
+  let open Sciera.Exp_connectivity in
+  let ratios = List.map snd r.timeseries in
+  let rmin = List.fold_left min infinity ratios in
+  let rmax = List.fold_left max neg_infinity ratios in
+  make ~id:"fig7" ~samples
+    ~headline:
+      [
+        ("buckets", float_of_int (List.length r.timeseries));
+        ("ratio_min", rmin);
+        ("ratio_max", rmax);
+      ]
+    (fun () -> print_fig7 r)
+
+let fig8 () =
+  let r, samples = Lazy.force multipath in
+  let open Sciera.Exp_multipath in
+  let _, _, best = r.best_pair in
+  make ~id:"fig8" ~samples
+    ~headline:
+      [ ("min_paths", float_of_int r.min_paths); ("best_pair_paths", float_of_int best) ]
+    (fun () -> print_fig8 r)
+
+let fig9 () =
+  let r, samples = Lazy.force multipath in
+  let open Sciera.Exp_multipath in
+  let maxdev =
+    Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 r.median_deviation
+  in
+  make ~id:"fig9" ~samples
+    ~headline:[ ("max_median_deviation", float_of_int maxdev) ]
+    (fun () -> print_fig9 r)
+
+let fig10a () =
+  let r, samples = Lazy.force multipath in
+  let open Sciera.Exp_multipath in
+  make ~id:"fig10a" ~samples
+    ~headline:
+      [
+        ("frac_inflation_close_to_1", r.frac_inflation_close_to_1);
+        ("frac_inflation_le_1_2", r.frac_inflation_le_1_2);
+      ]
+    (fun () -> print_fig10a r)
+
+let fig10b () =
+  let r, samples = Lazy.force multipath in
+  let open Sciera.Exp_multipath in
+  make ~id:"fig10b" ~samples
+    ~headline:
+      [
+        ("frac_fully_disjoint", r.frac_fully_disjoint);
+        ("frac_disjointness_ge_0_7", r.frac_disjointness_ge_0_7);
+      ]
+    (fun () -> print_fig10b r)
+
+let fig10c () =
+  let r, samples = Lazy.force resilience in
+  let open Sciera.Exp_resilience in
+  let m20, s20 = connectivity_at r 0.2 in
+  make ~id:"fig10c" ~samples
+    ~headline:
+      [
+        ("runs", float_of_int r.runs);
+        ("multipath_at_20pct", m20);
+        ("singlepath_at_20pct", s20);
+      ]
+    (fun () -> print_fig10c r)
+
+let survey () =
+  let a = Sciera.Survey.aggregates in
+  make ~id:"survey" ~samples:[]
+    ~headline:
+      [
+        ("respondents", float_of_int a.Sciera.Survey.n);
+        ("setup_within_month_pct", a.Sciera.Survey.setup_within_month);
+        ("opex_comparable_or_lower_pct", a.Sciera.Survey.opex_comparable_or_lower);
+        ("workload_under_10_pct", a.Sciera.Survey.workload_under_10);
+      ]
+    Sciera.Survey.print_survey
+
+let isd () =
+  let r, samples = Lazy.force isd_evolution in
+  let open Sciera.Exp_isd_evolution in
+  make ~id:"isd_evolution" ~samples
+    ~headline:
+      [
+        ("single_avg_blast", r.single_avg_blast);
+        ("regional_avg_blast", r.regional_avg_blast);
+        ("regional_domains", float_of_int (List.length r.regional_domains));
+      ]
+    (fun () -> print_report r)
+
+let run id =
+  match id with
+  | "table1" -> table1 ()
+  | "fig3" -> fig3 ()
+  | "fig4" -> fig4 ()
+  | "table2" -> table2 ()
+  | "app_effort" -> app_effort ()
+  | "fig5" -> fig5 ()
+  | "fig6" -> fig6 ()
+  | "fig7" -> fig7 ()
+  | "fig8" -> fig8 ()
+  | "fig9" -> fig9 ()
+  | "fig10a" -> fig10a ()
+  | "fig10b" -> fig10b ()
+  | "fig10c" -> fig10c ()
+  | "survey" -> survey ()
+  | "isd_evolution" -> isd ()
+  | other -> invalid_arg (Printf.sprintf "Evidence.run: unknown figure %S" other)

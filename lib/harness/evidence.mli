@@ -1,0 +1,41 @@
+(** Golden evidence: one uniform [run] over every figure and table of
+    EXPERIMENTS.md.
+
+    Each run produces the figure's result table in canonical text (the
+    same report output [bench/main.exe] prints, captured through
+    {!Telemetry.Log.capture_report}, plus a headline footer rendered
+    with {!Scion_util.Table.fmt_float}) and a telemetry snapshot scoped
+    to that run ({!Telemetry.Export} JSONL: the instrumented network's
+    stack-level series merged with one [exp.<figure>.<key>] gauge per
+    headline). Both are byte-stable for the fixed seeds, which is what
+    lets {!Golden} check them in and diff them on every test run.
+
+    Figures sharing a dataset (Figures 5-7; Figures 8-10b) share one
+    memoised experiment run per process. Evidence scale is reduced
+    relative to the full EXPERIMENTS.md run — see {!connectivity_days}
+    and {!resilience_runs} — so the tier-1 suite stays fast; the paper's
+    shape claims hold at this scale. *)
+
+type t = {
+  id : string;  (** Figure id, e.g. ["fig5"]. *)
+  title : string;
+  table : string;  (** Canonical result table ([test/golden/<id>/table.txt]). *)
+  metrics : string;  (** JSONL snapshot ([test/golden/<id>/metrics.jsonl]). *)
+}
+
+val figures : (string * string) list
+(** [(id, title)] for every artefact, in EXPERIMENTS.md summary-table
+    order. *)
+
+val ids : string list
+
+val connectivity_days : float
+(** Simulated multiping days behind Figures 5-7 (full run: 20). *)
+
+val resilience_runs : int
+(** Link-failure trials behind Figure 10c (full run: 100). *)
+
+val run : string -> t
+(** [run id] regenerates the evidence for one figure. Dataset runs are
+    memoised per process, so regenerating all of Figures 5-7 costs one
+    connectivity campaign. Raises [Invalid_argument] on an unknown id. *)

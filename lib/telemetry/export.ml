@@ -71,7 +71,9 @@ let labels_of_json = function
   | Some (Json.Obj fields) ->
       let rec go acc = function
         | [] -> Ok (List.rev acc)
-        | (k, Json.Str v) :: rest -> go ((k, v) :: acc) rest
+        | (k, Json.Str v) :: rest ->
+            if List.mem_assoc k acc then Error (Printf.sprintf "duplicate label key %S" k)
+            else go ((k, v) :: acc) rest
         | (k, _) :: _ -> Error (Printf.sprintf "label %S is not a string" k)
       in
       go [] fields
@@ -146,6 +148,8 @@ let sample_of_json v =
   in
   Ok { Metrics.sample_name = name; sample_labels = labels; value }
 
+let sample_key (s : Metrics.sample) = (s.Metrics.sample_name, s.Metrics.sample_labels)
+
 let of_json text =
   let lines =
     List.filter (fun l -> String.length (String.trim l) > 0) (String.split_on_char '\n' text)
@@ -164,7 +168,22 @@ let of_json text =
               let* sample = sample_of_json v in
               go (sample :: acc) rest
         in
-        go [] rest
+        let* samples = go [] rest in
+        (* A series may appear once: duplicates mean a corrupted snapshot
+           (or a hand-edited one) and would make diffs ambiguous. *)
+        let rec first_dup seen = function
+          | [] -> None
+          | s :: rest ->
+              let key = sample_key s in
+              if List.mem key seen then Some s else first_dup (key :: seen) rest
+        in
+        (match first_dup [] samples with
+        | Some s ->
+            Error
+              (Printf.sprintf "duplicate series %S (%s)" s.Metrics.sample_name
+                 (String.concat ","
+                    (List.map (fun (k, v) -> k ^ "=" ^ v) s.Metrics.sample_labels)))
+        | None -> Ok samples)
 
 (* --- Human-readable rendering --- *)
 
@@ -197,3 +216,67 @@ let render registry =
 let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+(* --- Snapshot diffing (the scion-top --diff / --watch view) --- *)
+
+type change =
+  | Added of Metrics.sample
+  | Removed of Metrics.sample
+  | Changed of Metrics.sample * Metrics.sample
+
+let diff_samples before after =
+  let cmp a b = compare (sample_key a) (sample_key b) in
+  let before = List.sort cmp before and after = List.sort cmp after in
+  let rec go acc before after =
+    match (before, after) with
+    | [], [] -> List.rev acc
+    | [], b :: rb -> go (Added b :: acc) [] rb
+    | a :: ra, [] -> go (Removed a :: acc) ra []
+    | a :: ra, b :: rb ->
+        let c = compare (sample_key a) (sample_key b) in
+        if c < 0 then go (Removed a :: acc) ra after
+        else if c > 0 then go (Added b :: acc) before rb
+        else if compare a.Metrics.value b.Metrics.value = 0 then go acc ra rb
+        else go (Changed (a, b) :: acc) ra rb
+  in
+  go [] before after
+
+let signed_int n = if n >= 0 then Printf.sprintf "+%d" n else string_of_int n
+
+let signed_float v =
+  if v >= 0.0 then "+" ^ Json.float_repr v else Json.float_repr v
+
+let value_delta before after =
+  match (before, after) with
+  | Metrics.Counter a, Metrics.Counter b -> signed_int (b - a)
+  | Metrics.Gauge a, Metrics.Gauge b -> signed_float (b -. a)
+  | Metrics.Histogram h1, Metrics.Histogram h2 ->
+      Printf.sprintf "count%s sum%s" (signed_int (h2.count - h1.count))
+        (signed_float (h2.sum -. h1.sum))
+  | Metrics.Summary s1, Metrics.Summary s2 ->
+      Printf.sprintf "count%s sum%s" (signed_int (s2.count - s1.count))
+        (signed_float (s2.sum -. s1.sum))
+  | _, _ -> "kind changed"
+
+let change_row = function
+  | Added s ->
+      let kind, v = value_summary s.Metrics.value in
+      [ "added"; s.Metrics.sample_name; labels_to_text s.Metrics.sample_labels; kind; "-"; v; "-" ]
+  | Removed s ->
+      let kind, v = value_summary s.Metrics.value in
+      [ "removed"; s.Metrics.sample_name; labels_to_text s.Metrics.sample_labels; kind; v; "-"; "-" ]
+  | Changed (a, b) ->
+      let kind, va = value_summary a.Metrics.value in
+      let _, vb = value_summary b.Metrics.value in
+      [
+        "changed"; a.Metrics.sample_name; labels_to_text a.Metrics.sample_labels; kind; va; vb;
+        value_delta a.Metrics.value b.Metrics.value;
+      ]
+
+let render_diff changes =
+  match changes with
+  | [] -> "no changes\n"
+  | changes ->
+      Table.render
+        ~header:[ "change"; "metric"; "labels"; "type"; "before"; "after"; "delta" ]
+        ~rows:(List.map change_row changes)

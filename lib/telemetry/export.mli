@@ -22,3 +22,23 @@ val render : Metrics.registry -> string
 
 val write_file : string -> string -> unit
 (** [write_file path contents] writes (truncating) [contents] to [path]. *)
+
+(** {1 Snapshot diffing}
+
+    The [scion-top --diff] view: compare two parsed snapshots series by
+    series — what changed between two days of a simulated deployment, or
+    between a golden snapshot and a regenerated one. *)
+
+type change =
+  | Added of Metrics.sample  (** Series only present in the second snapshot. *)
+  | Removed of Metrics.sample  (** Series only present in the first. *)
+  | Changed of Metrics.sample * Metrics.sample  (** (before, after) values differ. *)
+
+val diff_samples : Metrics.sample list -> Metrics.sample list -> change list
+(** [diff_samples before after] joins the two sample lists on
+    (name, labels) and reports every difference, in ascending series
+    order. Unchanged series are omitted. *)
+
+val render_diff : change list -> string
+(** Aligned table of the changes (counter deltas rendered as [+n]);
+    ["no changes\n"] when the list is empty. *)

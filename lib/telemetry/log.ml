@@ -34,6 +34,13 @@ let report_sink = ref (fun s -> print_string s)
 let set_sink f = diag_sink := f
 let set_report_sink f = report_sink := f
 
+(* Table.print is report output too: route it through the report sink so
+   [capture_report] (and any redirected sink) sees the table bodies the
+   experiments emit, not just their Log.out lines. Scion_util cannot
+   depend on telemetry, hence the indirection lives there and is pointed
+   here once at link time. *)
+let () = Scion_util.Table.set_printer (fun s -> !report_sink s)
+
 let logf lvl fmt =
   Printf.ksprintf
     (fun msg -> if enabled lvl then !diag_sink (Printf.sprintf "[%s] %s\n" (level_to_string lvl) msg))

@@ -34,6 +34,12 @@ val render : header:string list -> rows:string list list -> string
     have the same arity as the header. *)
 
 val print : header:string list -> rows:string list list -> unit
+(** Render and emit through the installed {!set_printer} sink
+    ([print_string] by default; [Telemetry.Log] reroutes it through the
+    report channel so captured experiment output includes tables). *)
+
+val set_printer : (string -> unit) -> unit
+(** Redirect {!print} output. The default prints to stdout. *)
 
 val fmt_ms : float -> string
 (** Milliseconds with one decimal, e.g. ["149.8"]. *)
@@ -43,3 +49,9 @@ val fmt_pct : float -> string
 
 val fmt_ratio : float -> string
 (** Ratio with three decimals, e.g. ["0.931"]. *)
+
+val fmt_float : float -> string
+(** The canonical free-form float format of the evidence harness: [%.6g].
+    Everything that renders a raw statistic ({!Stats.percentile} outputs,
+    headline gauges) must use this one format so checked-in goldens never
+    churn from printf drift. *)

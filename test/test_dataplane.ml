@@ -243,6 +243,78 @@ let qcheck_path_roundtrip =
       let p = Path.create segments in
       Path.encode (Path.decode (Path.encode p)) = Path.encode p)
 
+(* Property tests draw from a fixed-seed state (instead of qcheck's
+   self-initialising global one) so a failure reproduces on every run. *)
+let det_rand () = Random.State.make [| 0x5C1E7A5E |]
+let to_alcotest_seeded t = QCheck_alcotest.to_alcotest ~rand:(det_rand ()) t
+
+let gen_packet_spec =
+  QCheck.Gen.(
+    let* proto = oneofl [ Packet.Udp; Packet.Scmp; Packet.Bfd ] in
+    let* flow_id = 0 -- 0xFFFFF in
+    let* traffic_class = 0 -- 0xFF in
+    let* src = pair (1 -- 0xFFF) (1 -- 0xFFFFFF) in
+    let* dst = pair (1 -- 0xFFF) (1 -- 0xFFFFFF) in
+    let* src_octet = 1 -- 254 in
+    let* dst_service = oneofl [ None; Some Packet.svc_cs; Some Packet.svc_ds ] in
+    let* payload = string_size ~gen:printable (0 -- 64) in
+    let* nhops = 2 -- 6 in
+    let* seg_id = 0 -- 0xFFFF in
+    return (proto, flow_id, traffic_class, src, dst, src_octet, dst_service, payload, nhops, seg_id))
+
+let qcheck_packet_roundtrip =
+  QCheck.Test.make ~name:"packet encode/decode roundtrip" ~count:300 (QCheck.make gen_packet_spec)
+    (fun (proto, flow_id, traffic_class, (si, sa), (di, da), src_octet, dst_service, payload, nhops, seg_id)
+    ->
+      let info, hops = mk_segment ~seg_id (List.init nhops (fun i -> (i, i + 1))) in
+      let src_host = Packet.Ipv4 (Ipv4.of_string (Printf.sprintf "10.0.0.%d" src_octet)) in
+      let dst_host =
+        match dst_service with
+        | Some svc -> Packet.Service svc
+        | None -> Packet.Ipv4 (Ipv4.of_string "192.168.7.9")
+      in
+      let pkt =
+        Packet.make ~proto ~flow_id ~traffic_class
+          ~src:(Ia.make si sa, src_host)
+          ~dst:(Ia.make di da, dst_host)
+          ~path:(Packet.Standard (Path.create [ (info, hops) ]))
+          payload
+      in
+      let pkt' = Packet.decode (Packet.encode pkt) in
+      String.equal (Packet.encode pkt) (Packet.encode pkt')
+      && String.equal pkt'.Packet.payload payload
+      && pkt'.Packet.flow_id = flow_id
+      && pkt'.Packet.traffic_class = traffic_class
+      && Ia.equal pkt'.Packet.src_ia (Ia.make si sa)
+      && Ia.equal pkt'.Packet.dst_ia (Ia.make di da)
+      && Packet.host_equal pkt'.Packet.src_host src_host
+      && Packet.host_equal pkt'.Packet.dst_host dst_host)
+
+let gen_hop_spec =
+  QCheck.Gen.(
+    let* exp_time = 0 -- 255 in
+    let* ingress = 0 -- 0xFFFF in
+    let* egress = 0 -- 0xFFFF in
+    let* seg_id = 0 -- 0xFFFF in
+    return (exp_time, ingress, egress, seg_id))
+
+(* Every field the hop MAC covers must survive the wire format: after an
+   encode/decode trip, recomputing the MAC from the decoded hop and info
+   fields must reproduce the decoded MAC bytes exactly. *)
+let qcheck_hop_mac_after_encode =
+  QCheck.Test.make ~name:"hop-field MAC verifies after encode/decode" ~count:300
+    (QCheck.make gen_hop_spec) (fun (exp_time, ingress, egress, seg_id) ->
+      let hop = mk_hop ~exp_time ~ingress ~egress ~seg_id () in
+      let next =
+        mk_hop ~ingress:1 ~egress:0 ~seg_id:(Path.chain_seg_id ~seg_id ~mac:hop.Path.mac) ()
+      in
+      let info = { Path.cons_dir = true; peer = false; seg_id; timestamp = ts } in
+      let p' = Path.decode (Path.encode (Path.create [ (info, [ hop; next ]) ])) in
+      let info' = Path.current_info p' in
+      let hop' = Path.current_hop p' in
+      String.equal hop'.Path.mac
+        (Path.compute_mac cmac ~seg_id:info'.Path.seg_id ~timestamp:info'.Path.timestamp hop'))
+
 let () =
   Alcotest.run "scion_dataplane"
     [
@@ -256,7 +328,8 @@ let () =
           Alcotest.test_case "hop expiry" `Quick test_hop_expiry;
           Alcotest.test_case "mac chain" `Quick test_mac_chain;
           Alcotest.test_case "reverse" `Quick test_reverse;
-          QCheck_alcotest.to_alcotest qcheck_path_roundtrip;
+          to_alcotest_seeded qcheck_path_roundtrip;
+          to_alcotest_seeded qcheck_hop_mac_after_encode;
         ] );
       ( "packet",
         [
@@ -264,6 +337,7 @@ let () =
           Alcotest.test_case "empty path" `Quick test_packet_empty_path;
           Alcotest.test_case "garbage" `Quick test_packet_garbage;
           Alcotest.test_case "udp" `Quick test_udp_roundtrip;
+          to_alcotest_seeded qcheck_packet_roundtrip;
         ] );
       ( "scmp",
         [

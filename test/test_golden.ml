@@ -1,0 +1,72 @@
+(* Tier-1 golden-evidence suite: regenerate every figure's table and
+   telemetry snapshot and byte-compare them against the checked-in
+   goldens under test/golden/ (visible as ./golden from the dune
+   sandbox). A mismatch fails with a unified diff; refresh deliberate
+   changes with `dune exec bench/main.exe -- golden --promote`. *)
+
+(* Under `dune runtest` the cwd is the sandboxed test/ directory and the
+   goldens sit at ./golden; under a bare `dune exec test/test_golden.exe`
+   from the repo root they sit at test/golden. *)
+let golden_dir = if Sys.file_exists "golden" then "golden" else Filename.concat "test" "golden"
+
+(* Alcotest failure output should stay readable even when a whole table
+   changes: keep the head of the diff and say how much was cut. *)
+let truncate_diff ?(max_lines = 60) d =
+  let lines = String.split_on_char '\n' d in
+  if List.length lines <= max_lines then d
+  else
+    String.concat "\n" (List.filteri (fun i _ -> i < max_lines) lines)
+    ^ Printf.sprintf "\n... (%d more lines)\n" (List.length lines - max_lines)
+
+let check_figure id () =
+  List.iter
+    (fun (f : Harness.Golden.file) ->
+      match f.diff with
+      | None -> ()
+      | Some d ->
+          Alcotest.failf "golden mismatch: %s\nrefresh with `%s` if the change is deliberate\n%s"
+            f.path "dune exec bench/main.exe -- golden --promote" (truncate_diff d))
+    (Harness.Golden.check_figure ~dir:golden_dir id)
+
+(* The diff rendering itself: a one-line perturbation must show up as a
+   focused -/+ hunk, not an opaque blob. *)
+let test_unified_diff_readable () =
+  (match Harness.Diff.unified "a\nb\nc\nd\ne\n" "a\nb\nX\nd\ne\n" with
+  | None -> Alcotest.fail "differing strings reported equal"
+  | Some d ->
+      let has needle =
+        List.exists (String.equal needle) (String.split_on_char '\n' d)
+      in
+      Alcotest.(check bool) "deleted line" true (has "-c");
+      Alcotest.(check bool) "added line" true (has "+X");
+      Alcotest.(check bool) "context kept" true (has " b"));
+  Alcotest.(check bool) "equal strings yield no diff" true
+    (Harness.Diff.unified "same\n" "same\n" = None);
+  match Harness.Diff.unified "x" "x\n" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "missing trailing newline not detected"
+
+let test_all_figures_covered () =
+  (* Every artefact of the EXPERIMENTS.md summary table (except the
+     wall-clock micro benchmarks) has golden evidence. *)
+  Alcotest.(check (list string))
+    "figure ids"
+    [
+      "table1"; "fig3"; "fig4"; "table2"; "app_effort"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
+      "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution";
+    ]
+    Harness.Evidence.ids
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "diff",
+        [
+          Alcotest.test_case "unified diff readable" `Quick test_unified_diff_readable;
+          Alcotest.test_case "all figures covered" `Quick test_all_figures_covered;
+        ] );
+      ( "evidence",
+        List.map
+          (fun (id, _title) -> Alcotest.test_case id `Slow (check_figure id))
+          Harness.Evidence.figures );
+    ]

@@ -154,6 +154,78 @@ let test_export_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "malformed input accepted"
 
+(* The of_json error paths one by one: each corruption must be rejected
+   with a message naming the problem, never silently repaired. *)
+let expect_error what input =
+  match Export.of_json input with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail (what ^ " accepted")
+
+let test_export_error_paths () =
+  let json = Export.to_json (populated_registry ()) in
+  (* Truncated JSONL: cut the last line mid-object. *)
+  let truncated = String.sub json 0 (String.length json - 20) in
+  expect_error "truncated snapshot" truncated;
+  (* Wrong schema version. *)
+  expect_error "wrong schema version" "{\"schema\":\"sciera.telemetry/2\"}\n";
+  (* Header is not even an object with a schema key. *)
+  expect_error "headerless snapshot"
+    "{\"name\":\"x\",\"labels\":{},\"type\":\"counter\",\"value\":1}\n";
+  (* Empty input. *)
+  expect_error "empty snapshot" "";
+  (* Duplicate label keys within one series. *)
+  expect_error "duplicate label keys"
+    (Printf.sprintf
+       "{\"schema\":\"%s\"}\n{\"name\":\"x\",\"labels\":{\"k\":\"a\",\"k\":\"b\"},\"type\":\"counter\",\"value\":1}\n"
+       Export.schema);
+  (* The same (name, labels) series twice. *)
+  expect_error "duplicate series"
+    (Printf.sprintf
+       "{\"schema\":\"%s\"}\n\
+        {\"name\":\"x\",\"labels\":{\"k\":\"a\"},\"type\":\"counter\",\"value\":1}\n\
+        {\"name\":\"x\",\"labels\":{\"k\":\"a\"},\"type\":\"counter\",\"value\":2}\n"
+       Export.schema);
+  (* Unknown metric type. *)
+  expect_error "unknown metric type"
+    (Printf.sprintf "{\"schema\":\"%s\"}\n{\"name\":\"x\",\"labels\":{},\"type\":\"rate\",\"value\":1}\n"
+       Export.schema);
+  (* A well-formed snapshot with distinct labels still parses. *)
+  match
+    Export.of_json
+      (Printf.sprintf
+         "{\"schema\":\"%s\"}\n\
+          {\"name\":\"x\",\"labels\":{\"k\":\"a\"},\"type\":\"counter\",\"value\":1}\n\
+          {\"name\":\"x\",\"labels\":{\"k\":\"b\"},\"type\":\"counter\",\"value\":2}\n"
+         Export.schema)
+  with
+  | Ok samples -> Alcotest.(check int) "distinct series parse" 2 (List.length samples)
+  | Error e -> Alcotest.fail ("distinct series rejected: " ^ e)
+
+let test_export_diff () =
+  let reg_of counts =
+    let reg = M.create () in
+    List.iter (fun (name, n) -> M.add (M.counter reg name) n) counts;
+    reg
+  in
+  let before = M.snapshot (reg_of [ ("a", 1); ("b", 2) ]) in
+  let after = M.snapshot (reg_of [ ("b", 5); ("c", 7) ]) in
+  (match Export.diff_samples before after with
+  | [ Export.Removed r; Export.Changed (b0, b1); Export.Added a ] ->
+      Alcotest.(check string) "removed" "a" r.M.sample_name;
+      Alcotest.(check string) "changed" "b" b0.M.sample_name;
+      Alcotest.(check bool) "changed value" true (b1.M.value = M.Counter 5);
+      Alcotest.(check string) "added" "c" a.M.sample_name
+  | other -> Alcotest.fail (Printf.sprintf "unexpected diff shape (%d changes)" (List.length other)));
+  Alcotest.(check string) "identical snapshots" "no changes\n"
+    (Export.render_diff (Export.diff_samples before before));
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+    go 0
+  in
+  let rendered = Export.render_diff (Export.diff_samples before after) in
+  Alcotest.(check bool) "rendered diff shows counter delta" true (contains rendered "+3")
+
 let test_json_float_repr_roundtrips () =
   List.iter
     (fun f ->
@@ -233,6 +305,8 @@ let () =
         [
           Alcotest.test_case "export round-trip" `Quick test_export_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_export_rejects_garbage;
+          Alcotest.test_case "of_json error paths" `Quick test_export_error_paths;
+          Alcotest.test_case "snapshot diff" `Quick test_export_diff;
           Alcotest.test_case "float repr round-trips" `Quick test_json_float_repr_roundtrips;
         ] );
       ( "determinism",

@@ -130,6 +130,31 @@ let test_hex_invalid () =
   Alcotest.check_raises "odd" (Invalid_argument "Hex.decode: odd digit count") (fun () ->
       ignore (Hex.decode "abc"))
 
+(* Pin the canonical free-form float format of the evidence harness:
+   Stats.percentile results and the harness table renderer must agree on
+   %.6g, or goldens would churn on formatting alone. *)
+let test_fmt_float_canonical () =
+  List.iter
+    (fun (v, expect) -> Alcotest.(check string) expect expect (Table.fmt_float v))
+    [
+      (0.0, "0");
+      (1.0, "1");
+      (0.123456789, "0.123457");
+      (1234567.0, "1.23457e+06");
+      (133.0625, "133.062");
+      (-2.5, "-2.5");
+      (0.25, "0.25");
+    ];
+  (* Rendering a percentile goes through the same printf conversion. *)
+  let data = Array.init 100 (fun i -> float_of_int i /. 7.0) in
+  List.iter
+    (fun p ->
+      let v = Stats.percentile data p in
+      Alcotest.(check string)
+        (Printf.sprintf "p%g matches %%.6g" p)
+        (Printf.sprintf "%.6g" v) (Table.fmt_float v))
+    [ 50.0; 90.0; 99.0; 99.9 ]
+
 let test_table_render () =
   let s = Table.render ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ] in
   Alcotest.(check bool) "contains rule" true (String.length s > 0);
@@ -240,6 +265,7 @@ let () =
         ] );
       ( "table",
         [
+          Alcotest.test_case "canonical float format" `Quick test_fmt_float_canonical;
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "sorted iteration" `Quick test_table_sorted_iteration;
           Alcotest.test_case "insertion-order independent" `Quick test_table_iter_matches_hashtbl;
