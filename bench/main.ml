@@ -8,8 +8,10 @@
      dune exec bench/main.exe -- fast      # reduced-scale smoke run
      dune exec bench/main.exe -- micro     # microbenchmarks only
      dune exec bench/main.exe -- micro --json   # also write BENCH_micro.json
+     dune exec bench/main.exe -- golden [--promote] [--full] [--dir DIR]
+     dune exec bench/main.exe -- chaos     # Jan 21 / Feb 6 incident replays
    Artefacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10a
-   fig10b fig10c app_effort survey isd_evolution micro *)
+   fig10b fig10c app_effort survey isd_evolution recovery micro *)
 
 let time_section name f =
   (* scion-lint: allow determinism -- wall-clock timing of the bench harness itself, not simulated time *)
@@ -237,17 +239,21 @@ let micro ?(json = false) () =
 
 (* --- Golden evidence ----------------------------------------------------- *)
 
-(* `main.exe golden [--promote] [--dir DIR]`: check (default) or refresh
-   the checked-in per-figure evidence under test/golden/. Checking exits
-   non-zero and prints unified diffs when any golden is stale; promoting
-   rewrites only the files that changed. *)
+(* `main.exe golden [--promote] [--full] [--dir DIR]`: check (default) or
+   refresh the checked-in per-figure evidence under test/golden/. Checking
+   exits non-zero and prints unified diffs when any golden is stale;
+   promoting rewrites only the files that changed. `--full` switches the
+   scale knobs to the full EXPERIMENTS.md campaign and defaults the golden
+   directory to test/golden-full (the opt-in @golden-full tier). *)
 let golden rest =
+  let full = List.mem "--full" rest in
   let rec dir_of = function
     | "--dir" :: d :: _ -> d
     | _ :: tl -> dir_of tl
-    | [] -> Filename.concat "test" "golden"
+    | [] -> Filename.concat "test" (if full then "golden-full" else "golden")
   in
   let dir = dir_of rest in
+  if full then Harness.Evidence.use_full_scale ();
   if List.mem "--promote" rest then begin
     let results = Harness.Golden.promote ~dir () in
     List.iter
@@ -281,6 +287,54 @@ let golden rest =
     else Printf.printf "\nall %d golden files match\n" (List.length files)
   end
 
+(* --- Chaos smoke --------------------------------------------------------- *)
+
+(* `main.exe chaos`: replay the canned Jan 21 and Feb 6 incident scenarios
+   through the fault injector against a live network and verify the stack
+   self-heals: every scheduled op fires, the control plane stays up, and
+   end-to-end delivery is back once the replay drains (every outage ends
+   with a repair, which re-originates beacons). Exits non-zero on any
+   failed check. *)
+let chaos () =
+  Printf.printf "== Chaos smoke: canned incident replays ==\n%!";
+  let net =
+    time_section "network build" (fun () ->
+        Sciera.Network.create ~per_origin:8 ~verify_pcbs:false ())
+  in
+  let src = Scion_addr.Ia.of_string "71-20965" (* GEANT *) in
+  let dst = Scion_addr.Ia.of_string "71-225" (* UVa *) in
+  let live () = List.length (Sciera.Network.live_paths net ~src ~dst) in
+  let failures = ref 0 in
+  let check name ok =
+    if not ok then begin
+      incr failures;
+      Printf.printf "  FAIL %s\n%!" name
+    end
+  in
+  let before = live () in
+  check "delivery before replay" (before > 0);
+  List.iter
+    (fun (name, scenario) ->
+      let engine = Netsim.Engine.create () in
+      let rng = Scion_util.Rng.of_label 0xC4A05L "fault" in
+      let inj = Sciera.Network.inject net ~engine ~rng scenario in
+      let total = List.length (Fault.Injector.events inj) in
+      time_section (name ^ " replay") (fun () -> Netsim.Engine.run engine);
+      let after = live () in
+      Printf.printf "  %-6s %d/%d events fired, %d live paths after replay\n%!" name
+        (Fault.Injector.fired inj) total after;
+      check (name ^ ": all events fired") (Fault.Injector.fired inj = total && total > 0);
+      check (name ^ ": control plane up") (Fault.Injector.control_up inj);
+      check (name ^ ": delivery recovered") (after > 0))
+    [ ("jan21", Sciera.Incidents.jan21); ("feb6", Sciera.Incidents.feb6) ];
+  if !failures > 0 then begin
+    Printf.printf "\nchaos smoke: %d check(s) failed\n" !failures;
+    exit 1
+  end
+  else
+    Printf.printf "\nchaos smoke: all checks passed (%d live GEANT->UVa paths pre-replay)\n"
+      before
+
 (* --- Driver -------------------------------------------------------------- *)
 
 let run_artifact ~days ~json = function
@@ -304,6 +358,9 @@ let run_artifact ~days ~json = function
   | "isd_evolution" ->
       let r = time_section "ISD evolution study" (fun () -> Sciera.Exp_isd_evolution.run ()) in
       Sciera.Exp_isd_evolution.print_report r
+  | "recovery" ->
+      let r = time_section "recovery experiment" (fun () -> Sciera.Exp_recovery.run ()) in
+      Sciera.Exp_recovery.print_recovery r
   | "survey" -> Sciera.Survey.print_survey ()
   | "micro" -> micro ~json ()
   | other ->
@@ -313,7 +370,7 @@ let run_artifact ~days ~json = function
 let all_artifacts =
   [
     "table1"; "fig3"; "fig4"; "table2"; "app_effort"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
-    "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution"; "micro";
+    "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution"; "recovery"; "micro";
   ]
 
 let () =
@@ -322,6 +379,7 @@ let () =
   let args = List.filter (fun a -> a <> "--json") args in
   match args with
   | "golden" :: rest -> golden rest
+  | [ "chaos" ] -> chaos ()
   | [] ->
       Printf.printf "SCIERA reproduction — full evaluation run (Section 5)\n\n%!";
       List.iter (run_artifact ~days:Sciera.Incidents.window_days ~json) all_artifacts

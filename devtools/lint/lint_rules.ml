@@ -1,4 +1,4 @@
-(* The six scion-lint rules. Each is a [Lint.rule]; the engine runs every
+(* The scion-lint rules. Each is a [Lint.rule]; the engine runs every
    rule whose [scope] accepts the (repo-relative) file being linted.
 
    The invariants enforced here are the ones the SCIERA reproduction's
@@ -313,6 +313,79 @@ let naked_printf =
   }
 
 (* ------------------------------------------------------------------ *)
+(* R8: retry discipline. *)
+
+let contains_substring hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  m > 0 && go 0
+
+(* A binding "goes through Backoff" when its subtree mentions the module —
+   as a value (Backoff.retry, Backoff.delay_ms, ...) or in a type
+   annotation (plumbing a Backoff.policy through a record or argument). *)
+let mentions_backoff () =
+  let found = ref false in
+  let default = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } ->
+        if List.mem "Backoff" (flatten_longident txt) then found := true
+    | _ -> ());
+    default.expr it e
+  in
+  let typ it (t : Parsetree.core_type) =
+    (match t.ptyp_desc with
+    | Ptyp_constr ({ txt; _ }, _) ->
+        if List.mem "Backoff" (flatten_longident txt) then found := true
+    | _ -> ());
+    default.typ it t
+  in
+  let it = { default with expr; typ } in
+  (it, found)
+
+let binding_mentions_backoff (vb : Parsetree.value_binding) =
+  let it, found = mentions_backoff () in
+  it.expr it vb.pvb_expr;
+  (match vb.pvb_constraint with
+  | Some (Pvc_constraint { typ; _ }) -> it.typ it typ
+  | Some (Pvc_coercion { ground; coercion }) ->
+      Option.iter (it.typ it) ground;
+      it.typ it coercion
+  | None -> ());
+  !found
+
+let retryish name =
+  let n = String.lowercase_ascii name in
+  contains_substring n "retry" || contains_substring n "retries"
+
+let retry_discipline =
+  {
+    no_hooks with
+    id = "unbounded-retry";
+    severity = Error;
+    doc =
+      "Flags retry logic in lib/ (any value binding whose name mentions 'retry'/'retries') that never \
+       references Scion_util.Backoff: hand-rolled retry loops tend to be unbounded or to sleep \
+       fixed intervals, which breaks both the capped-exponential policy and the determinism \
+       contract (jitter must come from the caller's Rng). Drive retries through \
+       Scion_util.Backoff.retry / delay_ms.";
+    (* Backoff itself is where the retry machinery lives. *)
+    scope = (fun file -> in_dir "lib/" file && file <> "lib/util/backoff.ml");
+    on_value_binding =
+      Some
+        (fun _ctx emit (vb : Parsetree.value_binding) ->
+          match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt = name; _ } when retryish name && not (binding_mentions_backoff vb) ->
+              emit vb.pvb_pat.ppat_loc
+                (Printf.sprintf
+                   "%s looks like retry logic but never references Scion_util.Backoff; use \
+                    Backoff.retry (or Backoff.delay_ms) so retries are capped, exponential and \
+                    deterministically jittered"
+                   name)
+          | _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let rules : rule list =
   [
@@ -323,4 +396,5 @@ let rules : rule list =
     interface_coverage;
     ignored_result;
     naked_printf;
+    retry_discipline;
   ]

@@ -110,6 +110,7 @@ type t = {
   cache : Sigcache.t;
   routers : (Ia.t, Router.t) Hashtbl.t;
   mutable verif_failures : int;
+  mutable restorations : int;
   obs : obs option;
 }
 
@@ -318,6 +319,7 @@ let create ?(config = default_config) ?metrics ~now ~ases ~links () =
     cache = Sigcache.global;
     routers;
     verif_failures = 0;
+    restorations = 0;
     obs = Option.map make_obs metrics;
   }
 
@@ -545,6 +547,21 @@ let run_beaconing t ~now =
       M.inc o.o_beaconing_runs;
       M.set o.o_sigcache_hits (float_of_int (Sigcache.hits t.cache));
       M.set o.o_sigcache_misses (float_of_int (Sigcache.misses t.cache))
+
+(* Repair-triggered re-origination: restoring a down link rebuilds beacon
+   state immediately instead of waiting for the next scheduled beaconing
+   run, so paths over the repaired link reappear within the same tick. *)
+let restore_link t id ~now =
+  let l = t.link_arr.(id) in
+  let was_down = not l.l_up in
+  set_link_state t id ~up:true;
+  if was_down then begin
+    t.restorations <- t.restorations + 1;
+    run_beaconing t ~now
+  end;
+  was_down
+
+let restorations t = t.restorations
 
 let up_segments t ia = (node t ia).ups
 let core_segments_at t ia = (node t ia).cores_terminated

@@ -93,6 +93,16 @@ val find_links : t -> Ia.t -> Ia.t -> link_id list
 val set_link_state : t -> link_id -> up:bool -> unit
 val link_up : t -> link_id -> bool
 
+val restore_link : t -> link_id -> now:float -> bool
+(** Bring a link back up and, when it was actually down, immediately
+    re-run beaconing so segments over the repaired link reappear without
+    waiting for the next scheduled run (self-healing on restoration).
+    Returns whether a re-origination happened ([false] when the link was
+    already up — restoring an up link is a no-op). *)
+
+val restorations : t -> int
+(** Number of repair-triggered re-originations performed. *)
+
 val run_beaconing : t -> now:float -> unit
 (** Clear all beacon state, originate at core ASes, propagate for
     [config.rounds] rounds over the currently-up links, then terminate and

@@ -155,6 +155,59 @@ let calendar =
 let active_at day =
   List.filter (fun i -> day >= i.from_day && day < i.to_day) calendar
 
+(* --- Canned fault-injection replays --- *)
+
+let day_seconds = 86400.0
+
+(* Topology link ids equal the link's index in [Topology.links] (the
+   fabric and the mesh are both built in that order), so an (a, b, label)
+   incident endpoint pair resolves to fabric link ids by position. *)
+let links_between ?label a b =
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (idx, acc) (l : Topology.link_info) ->
+            let matches =
+              ((Ia.equal a l.Topology.a && Ia.equal b l.Topology.b)
+              || (Ia.equal a l.Topology.b && Ia.equal b l.Topology.a))
+              && match label with None -> true | Some lb -> lb = l.Topology.label
+            in
+            (idx + 1, if matches then idx :: acc else acc))
+          (0, []) Topology.links))
+
+let scenario_of_incident ~origin_day (i : incident) =
+  let span_s d = Float.max 0.0 ((d -. origin_day) *. day_seconds) in
+  let from_s = span_s i.from_day and to_s = span_s i.to_day in
+  let compile (a, b, label) f =
+    Fault.Scenario.seq (List.map f (links_between ?label a b))
+  in
+  match i.effect with
+  | Link_down { a; b; label } ->
+      compile (a, b, label) (fun link -> Fault.Scenario.outage ~link ~from_s ~to_s)
+  | Link_degraded { a; b; label; extra_ms } ->
+      compile (a, b, label) (fun link -> Fault.Scenario.window ~link ~from_s ~to_s ~extra_ms)
+
+let scenario_of_window ~from_day ~to_day =
+  Fault.Scenario.seq
+    (List.filter_map
+       (fun i ->
+         if i.from_day < to_day && i.to_day > from_day then
+           Some (scenario_of_incident ~origin_day:from_day i)
+         else None)
+       calendar)
+
+let titled prefix =
+  List.filter
+    (fun i -> String.length i.title >= String.length prefix
+              && String.sub i.title 0 (String.length prefix) = prefix)
+    calendar
+
+let scenario_of_titled ~origin_day prefix =
+  Fault.Scenario.seq (List.map (scenario_of_incident ~origin_day) (titled prefix))
+
+let jan21 = scenario_of_titled ~origin_day:3.0 "Jan 21"
+let feb6 = scenario_of_titled ~origin_day:19.0 "Feb 6"
+
 let change_points =
   let points =
     List.concat_map (fun i -> [ i.from_day; i.to_day ]) calendar @ [ 0.0; window_days ]

@@ -50,3 +50,31 @@ val change_points : float list
 (** Sorted distinct day offsets at which the set of active incidents
     changes (including 0 and [window_days]) — the epochs at which the
     control plane re-converges. *)
+
+(** {1 Canned fault-injection replays}
+
+    The calendar compiled into {!Fault.Scenario.t} recipes, for driving a
+    {!Fault.Injector} over the SCION fabric (link ids are positions in
+    [Topology.links], which is also the order the fabric adds them). Times
+    are seconds from the scenario's origin day. *)
+
+val links_between :
+  ?label:string -> Scion_addr.Ia.t -> Scion_addr.Ia.t -> Netsim.Net.link_id list
+(** Fabric link ids between two ASes, optionally narrowed to one labelled
+    parallel circuit ([None] means all of them) — empty when no such link
+    exists. *)
+
+val scenario_of_window : from_day:float -> to_day:float -> Fault.Scenario.t
+(** Every calendar incident overlapping [\[from_day, to_day)] as a
+    scenario whose clock starts at [from_day] (events before it are
+    clamped to time 0). *)
+
+val jan21 : Fault.Scenario.t
+(** The Jan 21 maintenance replay (day 3): the transatlantic GEANT link,
+    the GEANT Singapore link and the KREONET SG–AMS ring segment go down
+    and come back over the maintenance window, scenario time 0 = day 3. *)
+
+val feb6 : Fault.Scenario.t
+(** The Feb 6 node-upgrade replay (day 19): the KREONET AMS–CHG ring
+    segment outage plus the transatlantic and GEANT@AMS latency
+    degradations, scenario time 0 = day 19. *)

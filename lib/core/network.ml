@@ -197,6 +197,48 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) ?tele
   rebeacon t;
   t
 
+(* Apply one fault-injector op to the network: both the link fabric and
+   the control plane see it. A repaired link immediately re-originates
+   beacons (Mesh.restore_link), so recovery does not wait for the next
+   scheduled convergence. *)
+let apply_fault t op =
+  match op with
+  | Fault.Scenario.Link_down id ->
+      Net.set_link_up t.net id false;
+      Mesh.set_link_state t.mesh id ~up:false
+  | Fault.Scenario.Link_up id ->
+      Net.set_link_up t.net id true;
+      if Mesh.restore_link t.mesh id ~now:(now_unix t) then begin
+        Hashtbl.reset t.path_cache;
+        t.last_beacon_day <- t.day;
+        t.rebeacons <- t.rebeacons + 1
+      end
+  | Fault.Scenario.Extra_latency { link; ms } -> Net.set_extra_latency t.net link ms
+  | Fault.Scenario.Loss_burst { link; loss } -> Net.set_extra_loss t.net link loss
+  | Fault.Scenario.Node_down n ->
+      List.iter
+        (fun id ->
+          Net.set_link_up t.net id false;
+          Mesh.set_link_state t.mesh id ~up:false)
+        (Net.links_of t.net n)
+  | Fault.Scenario.Node_up n ->
+      let restored =
+        List.fold_left
+          (fun acc id ->
+            Net.set_link_up t.net id true;
+            Mesh.restore_link t.mesh id ~now:(now_unix t) || acc)
+          false (Net.links_of t.net n)
+      in
+      if restored then begin
+        Hashtbl.reset t.path_cache;
+        t.last_beacon_day <- t.day;
+        t.rebeacons <- t.rebeacons + 1
+      end
+  | Fault.Scenario.Control_down | Fault.Scenario.Control_up -> ()
+
+let inject t ~engine ~rng scenario =
+  Fault.Injector.attach ~engine ~rng ~apply:(apply_fault t) scenario
+
 let paths t ~src ~dst =
   let key = Ia.to_string src ^ ">" ^ Ia.to_string dst in
   match Hashtbl.find_opt t.path_cache key with

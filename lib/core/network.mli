@@ -27,6 +27,25 @@ val set_day : t -> float -> unit
     both link models, and re-run beaconing when the set of *up* links
     changed or the last convergence is older than the hop-field expiry. *)
 
+val apply_fault : t -> Fault.Scenario.op -> unit
+(** Apply one fault-injector op to both the link fabric and the control
+    plane. Bringing a down link (or node) back triggers an immediate
+    beacon re-origination ({!Scion_controlplane.Mesh.restore_link}) and
+    drops the memoised path cache; [Control_*] ops are bookkept by the
+    injector, not the fabric. *)
+
+val inject :
+  t ->
+  engine:Netsim.Engine.t ->
+  rng:Scion_util.Rng.t ->
+  Fault.Scenario.t ->
+  Fault.Injector.t
+(** Attach a fault scenario to this network on the given engine.
+    Determinism contract: [rng] must be a stream of its own (e.g.
+    [Rng.of_label seed "fault"]), never the network's workload stream —
+    then attaching any scenario leaves every workload draw, and therefore
+    every pre-existing figure golden, byte-identical. *)
+
 val paths : t -> src:Ia.t -> dst:Ia.t -> Combinator.fullpath list
 (** Control-plane paths under the current epoch (memoised per epoch). *)
 

@@ -211,6 +211,14 @@ let forward_out t pkt path egress =
         Forward { egress; packet = pkt }
   end
 
+let scmp_answer t = function
+  | Interface_down ifid | Unknown_interface ifid ->
+      Some (Scmp.External_interface_down { ia = t.ia; ifid })
+  | Expired_hop _ -> Some Scmp.Expired_hop_field
+  | Invalid_mac -> Some Scmp.Invalid_hop_field_mac
+  | Not_for_us -> Some Scmp.Destination_unreachable
+  | Ingress_mismatch _ | Path_malformed _ -> None
+
 let process t ~now ~ingress pkt =
   (match t.obs with
   | Some o when ingress <> 0 -> obs_inc o.o_rx ingress

@@ -64,6 +64,16 @@ val process : t -> now:float -> ingress:int -> Packet.t -> verdict
     interface the packet arrived on, 0 meaning "from inside the AS" (an
     end host or gateway). The returned packet shares the (mutated) path. *)
 
+val scmp_answer : t -> drop_reason -> Scmp.t option
+(** The SCMP error message this router sends back to the source for a
+    drop — the answer a dead-interface traversal gets instead of silence.
+    [Interface_down]/[Unknown_interface] yield
+    {!Scmp.External_interface_down} carrying this router's IA and the
+    interface id, which is exactly what a daemon needs to revoke every
+    cached path crossing that interface. [Ingress_mismatch] and
+    [Path_malformed] get no reply ([None]): answering an unverifiable
+    packet would make the router an amplifier. *)
+
 type counters = {
   mutable forwarded : int;
   mutable delivered : int;

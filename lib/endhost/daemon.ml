@@ -13,10 +13,17 @@ type t = {
   fetch : fetch;
   cache_ttl : float;
   expiry_margin : float;
+  revocation_ttl : float;
+  retry : (Scion_util.Backoff.policy * Scion_util.Rng.t) option;
   cache : (Ia.t, cache_entry) Hashtbl.t;
+  revoked : (string, float) Hashtbl.t;  (** "ia#ifid" -> active until *)
   trcs : (int, Scion_cppki.Trc.t) Hashtbl.t;
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable revocation_count : int;
+  mutable evicted_count : int;
+  mutable fetch_attempts : int;
+  mutable fetch_wait_ms : float;
   obs : obs option;
 }
 
@@ -27,16 +34,30 @@ let make_obs registry ~ia =
     o_misses = M.counter registry ~labels:(("source", "fetch") :: base) "daemon.lookups";
   }
 
-let create ~ia ~fetch ?(cache_ttl = 300.0) ?(expiry_margin = 60.0) ?metrics () =
+let create ~ia ~fetch ?(cache_ttl = 300.0) ?(expiry_margin = 60.0) ?(revocation_ttl = 10.0)
+    ?retry ?rng ?metrics () =
+  let retry : (Scion_util.Backoff.policy * Scion_util.Rng.t) option =
+    match (retry, rng) with
+    | Some policy, Some rng -> Some (policy, rng)
+    | Some _, None -> invalid_arg "Daemon.create: ?retry requires ?rng for jitter draws"
+    | None, _ -> None
+  in
   {
     ia;
     fetch;
     cache_ttl;
     expiry_margin;
+    revocation_ttl;
+    retry;
     cache = Hashtbl.create 32;
+    revoked = Hashtbl.create 8;
     trcs = Hashtbl.create 4;
     hit_count = 0;
     miss_count = 0;
+    revocation_count = 0;
+    evicted_count = 0;
+    fetch_attempts = 0;
+    fetch_wait_ms = 0.0;
     obs = Option.map (fun registry -> make_obs registry ~ia) metrics;
   }
 
@@ -44,14 +65,53 @@ let ia t = t.ia
 
 type source = From_cache | Fetched
 
+(* --- Revocations (SCMP external-interface-down) --- *)
+
+let revoked_key ia ifid = Ia.to_string ia ^ "#" ^ string_of_int ifid
+
+let interface_revoked t ~now ~ia ~ifid =
+  match Hashtbl.find_opt t.revoked (revoked_key ia ifid) with
+  | Some until -> until > now
+  | None -> false
+
+let crosses_revoked t ~now (p : Combinator.fullpath) =
+  Hashtbl.length t.revoked > 0
+  && List.exists
+       (fun (h : Scion_addr.Hop_pred.hop) ->
+         (h.ingress <> 0 && interface_revoked t ~now ~ia:h.ia ~ifid:h.ingress)
+         || (h.egress <> 0 && interface_revoked t ~now ~ia:h.ia ~ifid:h.egress))
+       p.Combinator.interfaces
+
+(* Retry transient fetch failures (an empty answer from the control
+   service) through the shared capped-exponential backoff; waits are
+   simulated time, accounted in [fetch_wait_ms], never slept. *)
+let fetch_paths t ~dst =
+  match t.retry with
+  | None -> t.fetch ~dst
+  | Some (policy, rng) -> (
+      let on_wait ~attempt:_ ~delay_ms = t.fetch_wait_ms <- t.fetch_wait_ms +. delay_ms in
+      match
+        Scion_util.Backoff.retry policy ~rng ~on_wait (fun ~attempt:_ ->
+            match t.fetch ~dst with [] -> Error `Empty | paths -> Ok paths)
+      with
+      | Ok (paths, attempts) ->
+          t.fetch_attempts <- t.fetch_attempts + attempts;
+          paths
+      | Error give_up ->
+          t.fetch_attempts <- t.fetch_attempts + give_up.Scion_util.Backoff.attempts;
+          [])
+
 let usable t ~now paths =
-  List.filter (fun p -> p.Combinator.expiry > now +. t.expiry_margin) paths
+  List.filter
+    (fun p ->
+      p.Combinator.expiry > now +. t.expiry_margin && not (crosses_revoked t ~now p))
+    paths
 
 let lookup t ~now ~dst =
   let refresh () =
     t.miss_count <- t.miss_count + 1;
     (match t.obs with None -> () | Some o -> M.inc o.o_misses);
-    let paths = t.fetch ~dst in
+    let paths = fetch_paths t ~dst in
     Hashtbl.replace t.cache dst { paths; fetched_at = now };
     (usable t ~now paths, Fetched)
   in
@@ -69,6 +129,53 @@ let flush t = Hashtbl.reset t.cache
 let cache_entries t = Hashtbl.length t.cache
 let hits t = t.hit_count
 let misses t = t.miss_count
+
+(* Learn that (ia, ifid) is dead: remember the revocation, evict every
+   cached path crossing the interface, and eagerly re-fetch destinations
+   whose cached set was wiped out so the next lookup has fresh material. *)
+let revoke t ~now ~ia:rev_ia ~ifid =
+  t.revocation_count <- t.revocation_count + 1;
+  Hashtbl.replace t.revoked (revoked_key rev_ia ifid) (now +. t.revocation_ttl);
+  let crosses (p : Combinator.fullpath) =
+    List.exists
+      (fun (h : Scion_addr.Hop_pred.hop) ->
+        Ia.equal h.ia rev_ia && ((h.ingress <> 0 && h.ingress = ifid) || (h.egress <> 0 && h.egress = ifid)))
+      p.Combinator.interfaces
+  in
+  let evictions =
+    Scion_util.Table.fold_sorted
+      (fun dst entry acc ->
+        let keep, evicted = List.partition (fun p -> not (crosses p)) entry.paths in
+        if evicted = [] then acc else (dst, keep, List.length evicted) :: acc)
+      t.cache []
+  in
+  let evicted_total =
+    List.fold_left
+      (fun acc (dst, keep, n) ->
+        (match keep with
+        | [] ->
+            let paths = fetch_paths t ~dst in
+            Hashtbl.replace t.cache dst { paths; fetched_at = now }
+        | _ :: _ -> Hashtbl.replace t.cache dst { paths = keep; fetched_at = now });
+        acc + n)
+      0 evictions
+  in
+  t.evicted_count <- t.evicted_count + evicted_total;
+  evicted_total
+
+let handle_scmp t ~now msg =
+  match msg with
+  | Scion_dataplane.Scmp.External_interface_down { ia = rev_ia; ifid } ->
+      Some (revoke t ~now ~ia:rev_ia ~ifid)
+  | Scion_dataplane.Scmp.Echo_request _ | Scion_dataplane.Scmp.Echo_reply _
+  | Scion_dataplane.Scmp.Destination_unreachable | Scion_dataplane.Scmp.Expired_hop_field
+  | Scion_dataplane.Scmp.Invalid_hop_field_mac ->
+      None
+
+let revocations t = t.revocation_count
+let evicted_paths t = t.evicted_count
+let fetch_attempts t = t.fetch_attempts
+let fetch_wait_ms t = t.fetch_wait_ms
 
 let store_trc t trc =
   let isd = trc.Scion_cppki.Trc.isd in

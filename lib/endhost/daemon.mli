@@ -14,26 +14,64 @@ val create :
   fetch:fetch ->
   ?cache_ttl:float ->
   ?expiry_margin:float ->
+  ?revocation_ttl:float ->
+  ?retry:Scion_util.Backoff.policy ->
+  ?rng:Scion_util.Rng.t ->
   ?metrics:Telemetry.Metrics.registry ->
   unit ->
   t
 (** [cache_ttl] caps how long a cached path set is served (default 300 s);
     [expiry_margin] discards paths that expire within the margin (default
-    60 s), mirroring the paper's path-expiration lessons. With [?metrics],
-    every lookup counts into [daemon.lookups{ia,source}] with source
-    [cache] or [fetch]. *)
+    60 s), mirroring the paper's path-expiration lessons.
+    [revocation_ttl] (default 10 s) bounds how long an SCMP-learnt
+    interface revocation suppresses paths — after it lapses the interface
+    is trusted again (the data plane re-answers if it is still dead).
+    With [?retry] (and its mandatory [?rng] for jitter draws), a fetch
+    that returns no paths is retried under the given
+    {!Scion_util.Backoff} policy; the backoff waits are simulated
+    milliseconds accumulated in {!fetch_wait_ms}, never slept. Raises
+    [Invalid_argument] when [?retry] is given without [?rng]. With
+    [?metrics], every lookup counts into [daemon.lookups{ia,source}] with
+    source [cache] or [fetch]. *)
 
 val ia : t -> Scion_addr.Ia.t
 
 type source = From_cache | Fetched
 
 val lookup : t -> now:float -> dst:Scion_addr.Ia.t -> Scion_controlplane.Combinator.fullpath list * source
-(** Valid (non-near-expiry) paths to [dst]. *)
+(** Valid paths to [dst]: non-near-expiry and not crossing an actively
+    revoked interface. *)
+
+val revoke : t -> now:float -> ia:Scion_addr.Ia.t -> ifid:int -> int
+(** Learn that interface [ifid] of AS [ia] is down (an SCMP
+    external-interface-down answer): records the revocation for
+    [revocation_ttl] seconds, evicts every cached path whose hop sequence
+    crosses the interface, and eagerly re-fetches destinations whose
+    cached set was emptied. Returns the number of evicted paths. *)
+
+val handle_scmp : t -> now:float -> Scion_dataplane.Scmp.t -> int option
+(** Dispatch an SCMP message: [External_interface_down] triggers
+    {!revoke} (returning [Some evicted]); every other message is ignored
+    ([None]). *)
 
 val flush : t -> unit
 val cache_entries : t -> int
 val hits : t -> int
 val misses : t -> int
+
+val revocations : t -> int
+(** Revocations learnt via {!revoke} (including re-announcements). *)
+
+val evicted_paths : t -> int
+(** Total cached paths evicted by revocations. *)
+
+val fetch_attempts : t -> int
+(** Backend fetch attempts made under the retry policy (successful
+    attempts included; 0 when no [?retry] was configured). *)
+
+val fetch_wait_ms : t -> float
+(** Simulated milliseconds spent in backoff waits between fetch
+    attempts. *)
 
 val store_trc : t -> Scion_cppki.Trc.t -> unit
 val trc_for : t -> isd:int -> Scion_cppki.Trc.t option

@@ -95,52 +95,124 @@ module Conn = struct
 
   type transport = Combinator.fullpath -> payload:string -> send_outcome
 
-  type obs = { o_sent : M.counter; o_failed : M.counter; o_failovers : M.counter }
+  type obs = {
+    o_sent : M.counter;
+    o_failed : M.counter;
+    o_failovers : M.counter;
+    o_reprobes : M.counter option;
+        (** Registered only on re-probing connections, so legacy
+            connections keep their exact snapshot shape. *)
+  }
 
   type t = {
     transport : transport;
     mutable ranked : Combinator.fullpath list;  (** Current path first. *)
+    mutable dead : (float * Combinator.fullpath) list;
+        (** Failed-over paths awaiting re-probe: (due time s, path). *)
+    rank : (string, int) Hashtbl.t;  (** fingerprint -> preference rank *)
+    fails : (string, int) Hashtbl.t;  (** fingerprint -> consecutive failures *)
+    reprobe : (Scion_util.Backoff.policy * Scion_util.Rng.t) option;
     mutable failover_count : int;
+    mutable reprobe_count : int;
     obs : obs option;
   }
 
-  let make_obs registry ~peer =
+  let make_obs registry ~peer ~reprobing =
     let base = [ ("peer", peer) ] in
     {
       o_sent = M.counter registry ~labels:(("outcome", "sent") :: base) "pan.send";
       o_failed = M.counter registry ~labels:(("outcome", "failed") :: base) "pan.send";
       o_failovers = M.counter registry ~labels:base "pan.failovers";
+      o_reprobes =
+        (if reprobing then Some (M.counter registry ~labels:base "pan.reprobes") else None);
     }
 
-  let dial ?metrics ?(peer = "") ~policy ~latency_of ~transport ~paths () =
+  let dial ?metrics ?(peer = "") ?reprobe ?rng ~policy ~latency_of ~transport ~paths () =
+    let reprobe =
+      match (reprobe, rng) with
+      | Some policy, Some rng -> Some (policy, rng)
+      | Some _, None -> invalid_arg "Conn.dial: ?reprobe requires ?rng for jitter draws"
+      | None, _ -> None
+    in
     match sort_paths policy ~latency_of (filter_paths policy paths) with
     | [] -> Error "no path satisfies the policy"
     | ranked ->
+        let rank = Hashtbl.create 16 in
+        List.iteri (fun i p -> Hashtbl.replace rank p.Combinator.fingerprint i) ranked;
         Ok
           {
             transport;
             ranked;
+            dead = [];
+            rank;
+            fails = Hashtbl.create 16;
+            reprobe;
             failover_count = 0;
-            obs = Option.map (fun registry -> make_obs registry ~peer) metrics;
+            reprobe_count = 0;
+            obs =
+              Option.map
+                (fun registry -> make_obs registry ~peer ~reprobing:(reprobe <> None))
+                metrics;
           }
 
   let current_path t =
     match t.ranked with p :: _ -> p | [] -> invalid_arg "Conn: no paths left"
 
   let candidates t = List.length t.ranked
+  let dead_candidates t = List.length t.dead
 
-  let send t ~payload =
+  let rank_of t (p : Combinator.fullpath) =
+    Scion_util.Table.find_or ~default:max_int t.rank p.Combinator.fingerprint
+
+  (* Move every due dead path back into the candidate list at its original
+     preference rank, so a repaired preferred path is tried *before* the
+     lower-ranked path we failed over to — this is what makes connections
+     return to the preferred path after repair rather than sticking to the
+     detour forever. *)
+  let resurrect t ~now =
+    let due, pending = List.partition (fun (at, _) -> at <= now) t.dead in
+    match due with
+    | [] -> ()
+    | _ :: _ ->
+        t.dead <- pending;
+        let n = List.length due in
+        t.reprobe_count <- t.reprobe_count + n;
+        (match t.obs with
+        | Some { o_reprobes = Some c; _ } -> M.add c n
+        | Some { o_reprobes = None; _ } | None -> ());
+        let merged = List.map snd due @ t.ranked in
+        t.ranked <- List.stable_sort (fun a b -> Int.compare (rank_of t a) (rank_of t b)) merged
+
+  let send ?now t ~payload =
+    (match (t.reprobe, now) with
+    | Some _, Some now -> resurrect t ~now
+    | (Some _ | None), _ -> ());
     let rec attempt () =
       match t.ranked with
       | [] -> Send_failed
       | path :: rest -> (
           match t.transport path ~payload with
-          | Sent r -> Sent r
+          | Sent r ->
+              (match t.reprobe with
+              | Some _ -> Hashtbl.replace t.fails path.Combinator.fingerprint 0
+              | None -> ());
+              Sent r
           | Send_failed ->
-              (* Drop the dead path and retry over the next candidate. *)
+              (* Drop the dead path and retry over the next candidate; with
+                 a re-probe policy the path is parked until its
+                 capped-exponential probe timer, not dropped forever. *)
               t.ranked <- rest;
               t.failover_count <- t.failover_count + 1;
               (match t.obs with None -> () | Some o -> M.inc o.o_failovers);
+              (match (t.reprobe, now) with
+              | Some (policy, rng), Some now ->
+                  let failures =
+                    Scion_util.Table.find_or ~default:0 t.fails path.Combinator.fingerprint + 1
+                  in
+                  Hashtbl.replace t.fails path.Combinator.fingerprint failures;
+                  let delay_ms = Scion_util.Backoff.delay_ms policy ~rng ~attempt:failures in
+                  t.dead <- (now +. (delay_ms /. 1000.0), path) :: t.dead
+              | (Some _ | None), _ -> ());
               attempt ())
     in
     let outcome = attempt () in
@@ -151,4 +223,5 @@ module Conn = struct
     outcome
 
   let failovers t = t.failover_count
+  let reprobes t = t.reprobe_count
 end

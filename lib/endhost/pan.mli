@@ -54,6 +54,8 @@ module Conn : sig
   val dial :
     ?metrics:Telemetry.Metrics.registry ->
     ?peer:string ->
+    ?reprobe:Scion_util.Backoff.policy ->
+    ?rng:Scion_util.Rng.t ->
     policy:policy ->
     latency_of:(Combinator.fullpath -> float) ->
     transport:transport ->
@@ -63,14 +65,32 @@ module Conn : sig
   (** Picks the best path under the policy. Errors when no path passes.
       With [?metrics], the connection counts [pan.send{peer,outcome}]
       (outcome [sent]/[failed], after any failovers) and
-      [pan.failovers{peer}]; [?peer] labels the series. *)
+      [pan.failovers{peer}]; [?peer] labels the series.
+
+      With [?reprobe] (and its mandatory [?rng] for jitter draws — raises
+      [Invalid_argument] otherwise), a failed path is parked rather than
+      dropped forever and re-probed under the capped-exponential
+      {!Scion_util.Backoff} policy: pass [~now] (seconds) to {!send} and
+      every parked path whose probe timer is due is re-inserted at its
+      original preference rank, so the connection returns to the preferred
+      path after repair instead of sticking to the detour. Re-probing
+      connections additionally count [pan.reprobes{peer}]. *)
 
   val current_path : t -> Combinator.fullpath
   val candidates : t -> int
-  val send : t -> payload:string -> send_outcome
+
+  val dead_candidates : t -> int
+  (** Paths currently parked awaiting their re-probe timer. *)
+
+  val send : ?now:float -> t -> payload:string -> send_outcome
   (** On failure, fails over to the next candidate path (if any) and
       retries, so a single link failure does not surface to the caller —
-      the rapid-failover behaviour marketed for gaming in Section 4.7. *)
+      the rapid-failover behaviour marketed for gaming in Section 4.7.
+      Without [?now] (or without a [?reprobe] policy) failed paths are
+      dropped permanently — the pre-self-healing semantics. *)
 
   val failovers : t -> int
+
+  val reprobes : t -> int
+  (** Parked paths that have been given another chance by {!send}. *)
 end

@@ -1,0 +1,45 @@
+(** The deterministic fault injector: compiles a {!Scenario.t} into
+    {!Netsim.Engine.t} timer events.
+
+    Determinism contract: the scenario elaborates against the RNG stream
+    passed to {!attach} — conventionally [Rng.of_label seed "fault"] —
+    and the injector itself draws nothing afterwards. Attaching (or not
+    attaching) an injector therefore leaves every workload RNG stream
+    byte-identical; only the link/control state transitions it applies can
+    change what the workload observes. [test/test_golden.ml] pins this
+    property against the checked-in evidence. *)
+
+type t
+
+val attach :
+  engine:Netsim.Engine.t ->
+  rng:Scion_util.Rng.t ->
+  apply:(Scenario.op -> unit) ->
+  Scenario.t ->
+  t
+(** Elaborate the scenario with [rng] and schedule one engine event per
+    fault op; each event calls [apply]. Ops scheduled before the engine's
+    current time are rejected with [Invalid_argument] (a scenario is
+    attached at or before its first op, never mid-flight). *)
+
+val attach_net :
+  engine:Netsim.Engine.t ->
+  rng:Scion_util.Rng.t ->
+  net:Netsim.Net.t ->
+  ?on_op:(Scenario.op -> unit) ->
+  Scenario.t ->
+  t
+(** {!attach} with the standard fabric applier: link ops drive
+    {!Netsim.Net.set_link_up} / [set_extra_latency] / [set_extra_loss];
+    node ops toggle every incident link; control ops flip {!control_up}.
+    [on_op] observes each op after it is applied (telemetry, logging). *)
+
+val events : t -> Scenario.event list
+(** The full elaborated schedule, sorted by time. *)
+
+val fired : t -> int
+(** Ops applied so far (grows as the engine runs). *)
+
+val control_up : t -> bool
+(** False between [Control_down] and [Control_up] ops — hosts model
+    path-fetch failures against this flag. Starts true. *)

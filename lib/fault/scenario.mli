@@ -1,0 +1,91 @@
+(** Declarative fault scenarios for the deterministic injector.
+
+    A scenario is a recipe: given the scenario's own {!Scion_util.Rng.t}
+    stream it elaborates into a finite list of timed {!op}s. All
+    randomness a scenario uses (flap-duration jitter, burst placement)
+    comes from that stream and nothing else, so attaching a scenario to a
+    running simulation never perturbs the workload's draws — the
+    determinism rule the golden evidence depends on.
+
+    Times are seconds on the simulation clock of the {!Netsim.Engine.t}
+    the scenario is eventually attached to. Link and node ids are the
+    target fabric's ({!Netsim.Net.link_id} / {!Netsim.Net.node}). *)
+
+(** One primitive fault transition. [Node_*] and [Control_*] ops are
+    resolved by the applier ({!Injector.attach}'s [apply], or the built-in
+    fabric applier of {!Injector.attach_net}). *)
+type op =
+  | Link_down of Netsim.Net.link_id
+  | Link_up of Netsim.Net.link_id
+  | Extra_latency of { link : Netsim.Net.link_id; ms : float }
+      (** Maintenance degradation: additive one-way latency ([0.] clears). *)
+  | Loss_burst of { link : Netsim.Net.link_id; loss : float }
+      (** Additive loss probability on top of the link's base loss
+          ([0.] ends the burst). *)
+  | Node_down of Netsim.Net.node
+      (** Outage of a node: every incident link goes down. *)
+  | Node_up of Netsim.Net.node
+  | Control_down  (** Control-service blackout begins (path fetches fail). *)
+  | Control_up
+
+val op_to_string : op -> string
+
+type event = { at_s : float; op : op }
+(** A concrete timer event after elaboration. *)
+
+type t
+(** A scenario (composable, not yet elaborated). *)
+
+val elaborate : t -> rng:Scion_util.Rng.t -> event list
+(** Expand into concrete events, sorted by time (ties keep combinator
+    order). All random draws come from [rng]. *)
+
+(** {1 Combinators} *)
+
+val nothing : t
+
+val at : float -> op list -> t
+(** [at t ops] fires every op at time [t] (seconds, [>= 0.]). *)
+
+val every : period_s:float -> until_s:float -> float -> op list -> t
+(** [every ~period_s ~until_s start ops] repeats [ops] at [start],
+    [start + period_s], ... strictly before [until_s]. Requires
+    [period_s > 0.]. *)
+
+val flap :
+  ?jitter_s:float ->
+  link:Netsim.Net.link_id ->
+  start_s:float ->
+  count:int ->
+  down_s:float ->
+  up_s:float ->
+  unit ->
+  t
+(** [count] down/up cycles: down at [start_s], up [down_s] later, next
+    flap [up_s] after that. With [jitter_s], each phase duration is
+    stretched by a uniform draw in [\[0, jitter_s)] from the scenario
+    stream. *)
+
+val window : link:Netsim.Net.link_id -> from_s:float -> to_s:float -> extra_ms:float -> t
+(** Maintenance latency window: add [extra_ms] one-way at [from_s], clear
+    it at [to_s]. *)
+
+val outage : link:Netsim.Net.link_id -> from_s:float -> to_s:float -> t
+(** Hard link outage window: down at [from_s], back up at [to_s]. *)
+
+val burst : link:Netsim.Net.link_id -> from_s:float -> to_s:float -> loss:float -> t
+(** Loss burst window: add [loss] per-traversal probability during
+    [\[from_s, to_s)]. *)
+
+val partition : node:Netsim.Net.node -> from_s:float -> to_s:float -> t
+(** Node outage window: all links incident to [node] go down at [from_s]
+    and come back at [to_s]. *)
+
+val blackout : from_s:float -> to_s:float -> t
+(** Control-service blackout window. *)
+
+val seq : t list -> t
+(** Superpose scenarios (events interleave by time). *)
+
+val ( ++ ) : t -> t -> t
+(** [a ++ b] is [seq [a; b]]. *)

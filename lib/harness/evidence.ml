@@ -39,6 +39,7 @@ let figures =
     ("fig10c", "Figure 10c: connectivity under link failure");
     ("survey", "Section 5.6: operator survey");
     ("isd_evolution", "Section 3.3: ISD evolution blast radius");
+    ("recovery", "Self-healing: time to recover from link failure");
   ]
 
 let ids = List.map fst figures
@@ -50,15 +51,16 @@ let title_of id =
 
 (* --- Evidence scale (documented in EXPERIMENTS.md, "Recording") ------- *)
 
-let connectivity_days = 4.0
-let resilience_runs = 25
+let connectivity_days = ref 4.0
+let resilience_runs = ref 25
+let recovery_trials = ref 12
 
 (* --- Memoised datasets ------------------------------------------------ *)
 
 let connectivity =
   lazy
     (let obs = Sciera.Obs.create () in
-     let r = Sciera.Exp_connectivity.run ~days:connectivity_days ~telemetry:obs () in
+     let r = Sciera.Exp_connectivity.run ~days:!connectivity_days ~telemetry:obs () in
      (r, Sciera.Obs.samples obs))
 
 let multipath =
@@ -70,7 +72,13 @@ let multipath =
 let resilience =
   lazy
     (let obs = Sciera.Obs.create () in
-     let r = Sciera.Exp_resilience.run ~runs:resilience_runs ~telemetry:obs () in
+     let r = Sciera.Exp_resilience.run ~runs:!resilience_runs ~telemetry:obs () in
+     (r, Sciera.Obs.samples obs))
+
+let recovery_data =
+  lazy
+    (let obs = Sciera.Obs.create () in
+     let r = Sciera.Exp_recovery.run ~trials:!recovery_trials ~telemetry:obs () in
      (r, Sciera.Obs.samples obs))
 
 let bootstrap =
@@ -84,6 +92,15 @@ let isd_evolution =
     (let obs = Sciera.Obs.create () in
      let r = Sciera.Exp_isd_evolution.run ~telemetry:obs () in
      (r, Sciera.Obs.samples obs))
+
+(* Opting into full scale after a dataset has been memoised would silently
+   mix scales within one process, so it is a programming error. *)
+let use_full_scale () =
+  if Lazy.is_val connectivity || Lazy.is_val resilience || Lazy.is_val recovery_data then
+    invalid_arg "Evidence.use_full_scale: a dataset is already memoised at evidence scale";
+  connectivity_days := 20.0;
+  resilience_runs := 100;
+  recovery_trials := 40
 
 (* --- Assembly --------------------------------------------------------- *)
 
@@ -306,6 +323,24 @@ let isd () =
       ]
     (fun () -> print_report r)
 
+let recovery () =
+  let r, samples = Lazy.force recovery_data in
+  let open Sciera.Exp_recovery in
+  make ~id:"recovery" ~samples
+    ~headline:
+      [
+        ("trials", float_of_int r.trials);
+        ("healed_median_s", r.healed.median_s);
+        ("baseline_median_s", r.baseline.median_s);
+        ("healed_p90_s", r.healed.p90_s);
+        ("healed_back_on_preferred", r.healed.returned_to_preferred);
+        ("baseline_back_on_preferred", r.baseline.returned_to_preferred);
+        ("revocations", float_of_int r.revocations);
+        ("evicted_paths", float_of_int r.evicted_paths);
+        ("reprobes", float_of_int r.reprobes);
+      ]
+    (fun () -> print_recovery r)
+
 let run id =
   match id with
   | "table1" -> table1 ()
@@ -323,4 +358,5 @@ let run id =
   | "fig10c" -> fig10c ()
   | "survey" -> survey ()
   | "isd_evolution" -> isd ()
+  | "recovery" -> recovery ()
   | other -> invalid_arg (Printf.sprintf "Evidence.run: unknown figure %S" other)

@@ -29,11 +29,20 @@ val figures : (string * string) list
 
 val ids : string list
 
-val connectivity_days : float
+val connectivity_days : float ref
 (** Simulated multiping days behind Figures 5-7 (full run: 20). *)
 
-val resilience_runs : int
+val resilience_runs : int ref
 (** Link-failure trials behind Figure 10c (full run: 100). *)
+
+val recovery_trials : int ref
+(** Fault-injection trials behind the recovery figure (full run: 40). *)
+
+val use_full_scale : unit -> unit
+(** Switch every scale knob to the full EXPERIMENTS.md campaign (20 days,
+    100 failure runs, 40 recovery trials) — the [@golden-full] tier.
+    Raises [Invalid_argument] if a scale-dependent dataset has already
+    been memoised in this process, since that would mix scales. *)
 
 val run : string -> t
 (** [run id] regenerates the evidence for one figure. Dataset runs are

@@ -18,6 +18,7 @@ type link = {
   p : link_params;
   mutable up : bool;
   mutable extra_ms : float;
+  mutable extra_loss : float;
   (* FIFO serialisation state for packet-level mode, per direction. *)
   mutable busy_until_ab : float;
   mutable busy_until_ba : float;
@@ -82,10 +83,29 @@ let name_of_node t n =
 
 let num_nodes t = t.nodes
 
+(* Parameter validation: a NaN or negative latency silently corrupts every
+   RTT sample drawn over the link, and an out-of-range loss either never or
+   always drops — all four fields fail fast instead. *)
+let check_params (p : link_params) =
+  let finite_nonneg name v =
+    if not (Float.is_finite v) || v < 0.0 then
+      invalid_arg (Printf.sprintf "Net.add_link: %s must be finite and >= 0 (got %g)" name v)
+  in
+  finite_nonneg "latency_ms" p.latency_ms;
+  finite_nonneg "jitter_ms" p.jitter_ms;
+  if Float.is_nan p.loss || p.loss < 0.0 || p.loss > 1.0 then
+    invalid_arg (Printf.sprintf "Net.add_link: loss must be in [0, 1] (got %g)" p.loss);
+  if Float.is_nan p.bandwidth_mbps || p.bandwidth_mbps <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Net.add_link: bandwidth_mbps must be > 0 (got %g)" p.bandwidth_mbps)
+
 let add_link t a b p =
   if a = b then invalid_arg "Net.add_link: self loop";
   if a < 0 || a >= t.nodes || b < 0 || b >= t.nodes then invalid_arg "Net.add_link: bad endpoint";
-  let link = { a; b; p; up = true; extra_ms = 0.0; busy_until_ab = 0.0; busy_until_ba = 0.0 } in
+  check_params p;
+  let link =
+    { a; b; p; up = true; extra_ms = 0.0; extra_loss = 0.0; busy_until_ab = 0.0; busy_until_ba = 0.0 }
+  in
   if t.nlinks = Array.length t.links then begin
     let links = Array.make (max 16 (2 * t.nlinks)) link in
     Array.blit t.links 0 links 0 t.nlinks;
@@ -111,8 +131,25 @@ let num_links t = t.nlinks
 let links_of t n = t.adjacency.(n)
 let set_link_up t id up = (get t id).up <- up
 let link_up t id = (get t id).up
-let set_extra_latency t id ms = (get t id).extra_ms <- ms
+
+let set_extra_latency t id ms =
+  if not (Float.is_finite ms) || ms < 0.0 then
+    invalid_arg (Printf.sprintf "Net.set_extra_latency: must be finite and >= 0 (got %g)" ms);
+  (get t id).extra_ms <- ms
+
 let extra_latency t id = (get t id).extra_ms
+
+let set_extra_loss t id loss =
+  if Float.is_nan loss || loss < 0.0 || loss > 1.0 then
+    invalid_arg (Printf.sprintf "Net.set_extra_loss: must be in [0, 1] (got %g)" loss);
+  (get t id).extra_loss <- loss
+
+let extra_loss t id = (get t id).extra_loss
+
+(* Effective per-traversal loss. The base + burst sum keeps the RNG draw
+   discipline of [transmit]/[sample_one_way] intact: with no burst active
+   the guard and the draw are exactly the pre-burst ones. *)
+let loss_of l = Float.min 1.0 (l.p.loss +. l.extra_loss)
 
 let one_way_ms t l =
   l.p.latency_ms +. l.extra_ms +. Rng.exponential t.rng ~rate:(1.0 /. Float.max 1e-6 l.p.jitter_ms)
@@ -120,7 +157,7 @@ let one_way_ms t l =
 let sample_one_way t id =
   let l = get t id in
   if not l.up then `Lost
-  else if l.p.loss > 0.0 && Rng.float t.rng 1.0 < l.p.loss then `Lost
+  else if loss_of l > 0.0 && Rng.float t.rng 1.0 < loss_of l then `Lost
   else `Delivered (one_way_ms t l)
 
 let path_rtt t ids =
@@ -149,7 +186,7 @@ let transmit t engine id ~from ~size_bytes ~on_arrival =
   (* Ordering matters for determinism: a down link must not consume an RNG
      draw, and the loss draw happens exactly once per send attempt. *)
   if not l.up then notify t (Drop { link = id; src = from; size_bytes; cause = Link_down })
-  else if l.p.loss > 0.0 && Rng.float t.rng 1.0 < l.p.loss then
+  else if loss_of l > 0.0 && Rng.float t.rng 1.0 < loss_of l then
     notify t (Drop { link = id; src = from; size_bytes; cause = Random_loss })
   else begin
     let now = Engine.now engine in

@@ -37,6 +37,10 @@ type link_params = {
 val default_params : link_params
 
 val add_link : t -> node -> node -> link_params -> link_id
+(** Raises [Invalid_argument] on a self loop, an unknown endpoint, or bad
+    parameters: NaN/negative/infinite [latency_ms] or [jitter_ms], [loss]
+    outside [\[0, 1\]], or non-positive [bandwidth_mbps]. *)
+
 val endpoints : t -> link_id -> node * node
 val params : t -> link_id -> link_params
 val num_links : t -> int
@@ -45,9 +49,19 @@ val links_of : t -> node -> link_id list
 val set_link_up : t -> link_id -> bool -> unit
 val link_up : t -> link_id -> bool
 val set_extra_latency : t -> link_id -> float -> unit
-(** Additive one-way latency in ms, for maintenance/degradation windows. *)
+(** Additive one-way latency in ms, for maintenance/degradation windows.
+    Raises [Invalid_argument] when the value is NaN, negative or infinite
+    (a negative maintenance window would silently corrupt RTT sampling). *)
 
 val extra_latency : t -> link_id -> float
+
+val set_extra_loss : t -> link_id -> float -> unit
+(** Additive per-traversal loss probability, for loss bursts (fault
+    injection). Effective loss is [min 1 (params.loss + extra)]. Raises
+    [Invalid_argument] outside [\[0, 1\]]. With extra loss at [0.] the RNG
+    draw sequence is identical to a fabric without bursts. *)
+
+val extra_loss : t -> link_id -> float
 
 val sample_one_way : t -> link_id -> [ `Delivered of float | `Lost ]
 (** One traversal: [`Delivered ms] or [`Lost]. Down links always lose. *)

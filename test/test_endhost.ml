@@ -306,6 +306,180 @@ let test_conn_failover () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "dial with no paths succeeded"
 
+(* --- Self-healing: re-probe, exhaustion, revocation, retry --- *)
+
+let test_conn_reprobe_returns_to_preferred () =
+  (* p2 (preferred by hops) dies, the connection fails over to p1; once the
+     link repairs and the re-probe timer fires, the connection must be back
+     on p2 — not stuck on the detour. *)
+  let p2_up = ref false in
+  let transport p ~payload =
+    ignore payload;
+    if p.Scion_controlplane.Combinator.fingerprint = "b" && not !p2_up then Pan.Conn.Send_failed
+    else Pan.Conn.Sent { rtt_ms = 10.0 }
+  in
+  let reprobe = Scion_util.Backoff.make ~base_ms:1000.0 ~jitter:0.0 () in
+  let conn =
+    match
+      Pan.Conn.dial ~reprobe ~rng:(Scion_util.Rng.create 8L) ~policy:Pan.default_policy
+        ~latency_of:(fun _ -> 1.0) ~transport ~paths:[ p1; p2 ] ()
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  (match Pan.Conn.send conn ~now:0.0 ~payload:"x" with
+  | Pan.Conn.Sent _ -> ()
+  | Pan.Conn.Send_failed -> Alcotest.fail "failover did not save the send");
+  Alcotest.(check string) "detoured to p1" "a"
+    (Pan.Conn.current_path conn).Scion_controlplane.Combinator.fingerprint;
+  Alcotest.(check int) "p2 parked, not dropped" 1 (Pan.Conn.dead_candidates conn);
+  p2_up := true;
+  (* Before the probe timer is due, the detour persists. *)
+  (match Pan.Conn.send conn ~now:0.5 ~payload:"x" with
+  | Pan.Conn.Sent _ -> ()
+  | Pan.Conn.Send_failed -> Alcotest.fail "detour send failed");
+  Alcotest.(check string) "still on p1 before timer" "a"
+    (Pan.Conn.current_path conn).Scion_controlplane.Combinator.fingerprint;
+  (* After the 1 s backoff, the parked path is resurrected at its rank. *)
+  (match Pan.Conn.send conn ~now:2.0 ~payload:"x" with
+  | Pan.Conn.Sent _ -> ()
+  | Pan.Conn.Send_failed -> Alcotest.fail "post-repair send failed");
+  Alcotest.(check string) "back on preferred p2" "b"
+    (Pan.Conn.current_path conn).Scion_controlplane.Combinator.fingerprint;
+  Alcotest.(check bool) "reprobe counted" true (Pan.Conn.reprobes conn >= 1);
+  Alcotest.(check int) "nothing parked" 0 (Pan.Conn.dead_candidates conn)
+
+let mk_paths n =
+  List.init n (fun i ->
+      fp
+        ~hops:[ ("71-1", 0, i + 1); ("71-9", i + 101, 0) ]
+        ~mtu:(1300 + i) ~expiry:(100.0 +. float_of_int i)
+        ~fprint:(Printf.sprintf "p%d" i))
+
+let qcheck_conn_exhaustion_never_raises =
+  (* With every path down, send must return Send_failed — never raise —
+     regardless of path count, repeated sends, or re-probe configuration. *)
+  QCheck.Test.make ~name:"conn exhaustion returns Send_failed" ~count:100
+    QCheck.(triple (int_range 1 8) (int_range 1 5) bool)
+    (fun (n_paths, n_sends, with_reprobe) ->
+      let dead _ ~payload = ignore payload; Pan.Conn.Send_failed in
+      let dial () =
+        if with_reprobe then
+          Pan.Conn.dial
+            ~reprobe:(Scion_util.Backoff.make ~base_ms:100.0 ~jitter:0.0 ())
+            ~rng:(Scion_util.Rng.create 3L) ~policy:Pan.default_policy
+            ~latency_of:(fun _ -> 1.0) ~transport:dead ~paths:(mk_paths n_paths) ()
+        else
+          Pan.Conn.dial ~policy:Pan.default_policy ~latency_of:(fun _ -> 1.0) ~transport:dead
+            ~paths:(mk_paths n_paths) ()
+      in
+      match dial () with
+      | Error _ -> false
+      | Ok conn ->
+          List.for_all
+            (fun i ->
+              let now = if with_reprobe then Some (float_of_int i) else None in
+              match Pan.Conn.send ?now conn ~payload:"x" with
+              | Pan.Conn.Send_failed -> true
+              | Pan.Conn.Sent _ -> false)
+            (List.init n_sends Fun.id))
+
+let qcheck_happy_eyeballs_ip_fallback =
+  (* All SCION paths revoked = the SCION family is unavailable: the race
+     must fall back to an IP family whenever one is available, and fail
+     (winner None) only when everything is down. *)
+  QCheck.Test.make ~name:"happy eyeballs falls back to IP" ~count:200
+    QCheck.(
+      quad (pair bool bool)
+        (float_range 1.0 500.0) (float_range 1.0 500.0) (float_range 0.0 400.0))
+    (fun ((v6_ok, v4_ok), v6_ms, v4_ms, scion_ms) ->
+      let outcome =
+        Happy_eyeballs.race
+          [
+            { Happy_eyeballs.family = Happy_eyeballs.Scion; available = false; connect_ms = scion_ms };
+            { Happy_eyeballs.family = Happy_eyeballs.Ipv6; available = v6_ok; connect_ms = v6_ms };
+            { Happy_eyeballs.family = Happy_eyeballs.Ipv4; available = v4_ok; connect_ms = v4_ms };
+          ]
+      in
+      match outcome.Happy_eyeballs.winner with
+      | Some Happy_eyeballs.Scion -> false
+      | Some Happy_eyeballs.Ipv6 -> v6_ok
+      | Some Happy_eyeballs.Ipv4 -> v4_ok
+      | None -> (not v6_ok) && not v4_ok)
+
+let test_daemon_revocation () =
+  let fetches = ref 0 in
+  let fetch ~dst =
+    ignore dst;
+    incr fetches;
+    [ p1; p2 ]
+  in
+  let d =
+    Daemon.create ~ia:(Ia.of_string "71-1") ~fetch ~cache_ttl:600.0 ~revocation_ttl:10.0 ()
+  in
+  let dst = Ia.of_string "71-9" in
+  let paths, _ = Daemon.lookup d ~now:0.0 ~dst in
+  Alcotest.(check int) "both paths cached" 2 (List.length paths);
+  (* SCMP says 71-5 interface 1 is down: p1 crosses it, p2 does not. *)
+  let scmp =
+    Scion_dataplane.Scmp.External_interface_down { ia = Ia.of_string "71-5"; ifid = 1 }
+  in
+  (match Daemon.handle_scmp d ~now:1.0 scmp with
+  | Some evicted -> Alcotest.(check int) "p1 evicted" 1 evicted
+  | None -> Alcotest.fail "External_interface_down must trigger a revocation");
+  Alcotest.(check int) "revocation recorded" 1 (Daemon.revocations d);
+  Alcotest.(check int) "eviction counted" 1 (Daemon.evicted_paths d);
+  let paths, src = Daemon.lookup d ~now:2.0 ~dst in
+  Alcotest.(check bool) "survivor served from cache" true (src = Daemon.From_cache);
+  Alcotest.(check (list string)) "only p2 remains" [ "b" ]
+    (List.map (fun p -> p.Scion_controlplane.Combinator.fingerprint) paths);
+  (* Non-revocation SCMP messages are not the daemon's business. *)
+  (match Daemon.handle_scmp d ~now:2.0 Scion_dataplane.Scmp.Expired_hop_field with
+  | None -> ()
+  | Some _ -> Alcotest.fail "only External_interface_down revokes");
+  (* After the revocation TTL, a fresh fetch may serve p1 again. *)
+  Daemon.flush d;
+  let paths, _ = Daemon.lookup d ~now:20.0 ~dst in
+  Alcotest.(check int) "revocation expired, p1 back" 2 (List.length paths)
+
+let test_bootstrap_retry () =
+  let server, key = mk_server () in
+  (* Server down for the first two attempts, reachable on the third. *)
+  let served = ref 0 in
+  let flaky ~attempt =
+    incr served;
+    if attempt >= 3 then Some server else None
+  in
+  let policy = Scion_util.Backoff.make ~base_ms:50.0 ~multiplier:2.0 ~jitter:0.0 ~max_attempts:5 () in
+  (match
+     Bootstrap.run_with_retry ~rng:(rng ()) ~os:Bootstrap.Linux ~env:(env ~dhcp:true ())
+       ~server:flaky ~as_cert_key:key ~policy ()
+   with
+  | Ok (_, _, timing, info) ->
+      Alcotest.(check int) "three attempts" 3 info.Bootstrap.attempts;
+      Alcotest.(check int) "server thunk re-queried per attempt" 3 !served;
+      Alcotest.(check (float 1e-9)) "waited 50 + 100 ms" 150.0 info.Bootstrap.backoff_ms;
+      Alcotest.(check bool) "backoff folded into total" true
+        (timing.Bootstrap.total_ms >= info.Bootstrap.backoff_ms)
+  | Error (e, _) -> Alcotest.fail (Bootstrap.error_to_string e));
+  (* Permanent errors abort immediately, however many attempts remain. *)
+  let _, wrong = Schnorr.derive ~seed:"other" in
+  (match
+     Bootstrap.run_with_retry ~rng:(rng ()) ~os:Bootstrap.Linux ~env:(env ~dhcp:true ())
+       ~server:(fun ~attempt:_ -> Some server) ~as_cert_key:wrong ~policy ()
+   with
+  | Error (Bootstrap.Topology_signature_invalid, info) ->
+      Alcotest.(check int) "no retry on permanent error" 1 info.Bootstrap.attempts
+  | _ -> Alcotest.fail "expected an immediate permanent failure");
+  (* A server that never answers exhausts the budget. *)
+  match
+    Bootstrap.run_with_retry ~rng:(rng ()) ~os:Bootstrap.Linux ~env:(env ~dhcp:true ())
+      ~server:(fun ~attempt:_ -> None) ~as_cert_key:key ~policy ()
+  with
+  | Error (Bootstrap.Server_unreachable, info) ->
+      Alcotest.(check int) "budget exhausted" 5 info.Bootstrap.attempts
+  | _ -> Alcotest.fail "expected Server_unreachable after exhaustion"
+
 (* --- Dispatcher --- *)
 
 let test_dispatcher () =
@@ -486,11 +660,13 @@ let () =
           Alcotest.test_case "errors" `Quick test_bootstrap_errors;
           Alcotest.test_case "latency model" `Quick test_bootstrap_latency_model;
           Alcotest.test_case "topology tamper" `Quick test_topology_tamper;
+          Alcotest.test_case "retry with backoff" `Quick test_bootstrap_retry;
         ] );
       ( "daemon",
         [
           Alcotest.test_case "cache" `Quick test_daemon_cache;
           Alcotest.test_case "trc store" `Quick test_daemon_trc_store;
+          Alcotest.test_case "scmp revocation" `Quick test_daemon_revocation;
         ] );
       ( "pan",
         [
@@ -500,9 +676,16 @@ let () =
           Alcotest.test_case "sorting" `Quick test_pan_sorting;
           Alcotest.test_case "modes" `Quick test_pan_modes;
           Alcotest.test_case "conn failover" `Quick test_conn_failover;
+          Alcotest.test_case "re-probe returns to preferred" `Quick
+            test_conn_reprobe_returns_to_preferred;
+          QCheck_alcotest.to_alcotest qcheck_conn_exhaustion_never_raises;
         ] );
       ("dispatcher", [ Alcotest.test_case "demux + model" `Quick test_dispatcher ]);
-      ("happy_eyeballs", [ Alcotest.test_case "race" `Quick test_happy_eyeballs ]);
+      ( "happy_eyeballs",
+        [
+          Alcotest.test_case "race" `Quick test_happy_eyeballs;
+          QCheck_alcotest.to_alcotest qcheck_happy_eyeballs_ip_fallback;
+        ] );
       ( "sig",
         [
           Alcotest.test_case "routing" `Quick test_sig_routing;

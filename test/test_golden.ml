@@ -53,9 +53,34 @@ let test_all_figures_covered () =
     "figure ids"
     [
       "table1"; "fig3"; "fig4"; "table2"; "app_effort"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
-      "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution";
+      "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution"; "recovery";
     ]
     Harness.Evidence.ids
+
+(* The fault-injection determinism contract behind every golden above:
+   attaching (and fully running) the canned incident replays must leave the
+   network's workload RNG stream byte-identical — fault scenarios elaborate
+   against their own labelled stream, and the injector draws nothing. *)
+let test_injector_rng_isolation () =
+  let draws_after_replay scenarios =
+    let net = Sciera.Network.create ~per_origin:4 ~verify_pcbs:false () in
+    List.iter
+      (fun scenario ->
+        let engine = Netsim.Engine.create () in
+        let rng = Scion_util.Rng.of_label 99L "fault" in
+        let inj = Sciera.Network.inject net ~engine ~rng scenario in
+        Netsim.Engine.run engine;
+        Alcotest.(check bool) "all scheduled ops fired" true
+          (Fault.Injector.fired inj
+          = List.length (Fault.Injector.events inj)))
+      scenarios;
+    let workload = Sciera.Network.rng net in
+    Array.init 64 (fun _ -> Scion_util.Rng.next workload)
+  in
+  let quiet = draws_after_replay [] in
+  let faulted = draws_after_replay [ Sciera.Incidents.jan21; Sciera.Incidents.feb6 ] in
+  Alcotest.(check (array int64))
+    "workload draws identical with and without injected faults" quiet faulted
 
 let () =
   Alcotest.run "golden"
@@ -64,6 +89,7 @@ let () =
         [
           Alcotest.test_case "unified diff readable" `Quick test_unified_diff_readable;
           Alcotest.test_case "all figures covered" `Quick test_all_figures_covered;
+          Alcotest.test_case "injector RNG isolation" `Slow test_injector_rng_isolation;
         ] );
       ( "evidence",
         List.map

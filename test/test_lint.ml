@@ -153,6 +153,32 @@ let test_naked_printf () =
   Alcotest.(check (list string)) "bench exempt" []
     (rule_ids (lint ~file:"bench/fixture.ml" "let () = Printf.printf \"%d\\n\" 1"))
 
+(* --- R8: retry discipline ----------------------------------------------- *)
+
+let test_unbounded_retry () =
+  (* A hand-rolled retry loop that never consults Backoff. *)
+  check_flags ~rule:"unbounded-retry"
+    "let rec retry_fetch f = match f () with Some v -> v | None -> retry_fetch f";
+  check_flags ~rule:"unbounded-retry"
+    "let with_retries f = let rec go n = if n > 5 then None else match f () with Some v -> Some v | None -> go (n + 1) in go 0";
+  (* Going through the shared policy is the sanctioned shape. *)
+  check_clean
+    "let retry_fetch ~rng f = Scion_util.Backoff.retry Scion_util.Backoff.default ~rng (fun ~attempt:_ -> f ())";
+  check_clean "let retry_delay p ~rng ~attempt = Backoff.delay_ms p ~rng ~attempt";
+  (* Bindings that merely plumb a policy through are typed as such. *)
+  check_clean "let retry : Scion_util.Backoff.policy option = None";
+  (* Non-retry names are not the rule's business. *)
+  check_clean "let rec poll f = match f () with Some v -> v | None -> poll f";
+  (* Backoff's own implementation is exempt, as are executables. *)
+  Alcotest.(check (list string)) "backoff.ml exempt" []
+    (rule_ids
+       (lint ~file:"lib/util/backoff.ml"
+          "let rec retry_go f = match f () with Some v -> v | None -> retry_go f"));
+  Alcotest.(check (list string)) "bench exempt" []
+    (rule_ids
+       (lint ~file:"bench/fixture.ml"
+          "let rec retry_go f = match f () with Some v -> v | None -> retry_go f"))
+
 (* --- Suppression, severity, reporters ----------------------------------- *)
 
 (* Directives are assembled by concatenation so the linter never mistakes
@@ -171,7 +197,13 @@ let test_suppression () =
   Alcotest.(check (list string)) "other rules still fire" [ "determinism" ] (rule_ids (lint src));
   (* A suppression two lines up has no effect. *)
   let src = Printf.sprintf "%s\n\nlet f xs = List.hd xs\n" (allow "totality") in
-  Alcotest.(check (list string)) "out of range" [ "totality" ] (rule_ids (lint src))
+  Alcotest.(check (list string)) "out of range" [ "totality" ] (rule_ids (lint src));
+  (* unbounded-retry is suppressible like any other rule. *)
+  let src =
+    Printf.sprintf "%s\nlet rec retry_go f = match f () with Some v -> v | None -> retry_go f\n"
+      (allow "unbounded-retry")
+  in
+  Alcotest.(check (list string)) "unbounded-retry suppressible" [] (rule_ids (lint src))
 
 let test_bad_directive () =
   let src = Printf.sprintf "let x = 1 %s\n" (allow "no-such-rule") in
@@ -238,6 +270,7 @@ let () =
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;
           Alcotest.test_case "ignored-result" `Quick test_ignored_result;
           Alcotest.test_case "naked-printf" `Quick test_naked_printf;
+          Alcotest.test_case "unbounded-retry" `Quick test_unbounded_retry;
         ] );
       ( "engine",
         [

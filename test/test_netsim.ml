@@ -221,6 +221,67 @@ let qcheck_dijkstra_optimality =
           abs_float (cost -. sum) < 1e-6
           && cost <= Net.path_base_latency net (List.init (n - 1) Fun.id))
 
+(* --- Parameter validation ---------------------------------------------- *)
+
+let fresh_pair () =
+  let net = Net.create ~rng:(Rng.create 11L) in
+  let a = Net.add_node net "a" in
+  let b = Net.add_node net "b" in
+  (net, a, b)
+
+let rejects f = match f () with exception Invalid_argument _ -> true | _ -> false
+
+let test_add_link_validation () =
+  let p = Net.default_params in
+  let try_params name bad =
+    let net, a, b = fresh_pair () in
+    Alcotest.(check bool) name true (rejects (fun () -> Net.add_link net a b bad))
+  in
+  try_params "NaN latency" { p with latency_ms = Float.nan };
+  try_params "negative latency" { p with latency_ms = -1.0 };
+  try_params "infinite latency" { p with latency_ms = Float.infinity };
+  try_params "NaN jitter" { p with jitter_ms = Float.nan };
+  try_params "negative jitter" { p with jitter_ms = -0.5 };
+  try_params "loss below 0" { p with loss = -0.01 };
+  try_params "loss above 1" { p with loss = 1.01 };
+  try_params "NaN loss" { p with loss = Float.nan };
+  try_params "zero bandwidth" { p with bandwidth_mbps = 0.0 };
+  try_params "negative bandwidth" { p with bandwidth_mbps = -10.0 };
+  try_params "NaN bandwidth" { p with bandwidth_mbps = Float.nan };
+  let net, a, b = fresh_pair () in
+  Alcotest.(check bool) "self loop" true (rejects (fun () -> Net.add_link net a a p));
+  let l = Net.add_link net a b p in
+  Alcotest.(check int) "good params accepted" 0 l
+
+let test_extra_latency_validation () =
+  let net, a, b = fresh_pair () in
+  let l = Net.add_link net a b Net.default_params in
+  Alcotest.(check bool) "NaN extra latency" true
+    (rejects (fun () -> Net.set_extra_latency net l Float.nan));
+  Alcotest.(check bool) "negative extra latency" true
+    (rejects (fun () -> Net.set_extra_latency net l (-3.0)));
+  Alcotest.(check bool) "infinite extra latency" true
+    (rejects (fun () -> Net.set_extra_latency net l Float.infinity));
+  Net.set_extra_latency net l 12.5;
+  Alcotest.(check (float 1e-9)) "valid extra latency kept" 12.5 (Net.extra_latency net l)
+
+let test_extra_loss_validation () =
+  let net, a, b = fresh_pair () in
+  let l = Net.add_link net a b { Net.default_params with loss = 0.4 } in
+  Alcotest.(check bool) "loss above 1" true (rejects (fun () -> Net.set_extra_loss net l 1.2));
+  Alcotest.(check bool) "negative loss" true (rejects (fun () -> Net.set_extra_loss net l (-0.2)));
+  Alcotest.(check bool) "NaN loss" true (rejects (fun () -> Net.set_extra_loss net l Float.nan));
+  Net.set_extra_loss net l 0.6;
+  Alcotest.(check (float 1e-9)) "valid extra loss kept" 0.6 (Net.extra_loss net l);
+  (* base 0.4 + extra 0.6 saturates: every traversal is lost. *)
+  for _ = 1 to 50 do
+    match Net.sample_one_way net l with
+    | `Lost -> ()
+    | `Delivered _ -> Alcotest.fail "loss saturated at 1.0 must drop every packet"
+  done;
+  Net.set_extra_loss net l 0.0;
+  Alcotest.(check (float 1e-9)) "burst cleared" 0.0 (Net.extra_loss net l)
+
 let () =
   Alcotest.run "netsim"
     [
@@ -245,5 +306,11 @@ let () =
           Alcotest.test_case "transmit" `Quick test_net_transmit;
           Alcotest.test_case "down link drops" `Quick test_net_transmit_down_link_drops;
           QCheck_alcotest.to_alcotest qcheck_dijkstra_optimality;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "add_link rejects bad params" `Quick test_add_link_validation;
+          Alcotest.test_case "extra latency validated" `Quick test_extra_latency_validation;
+          Alcotest.test_case "extra loss validated" `Quick test_extra_loss_validation;
         ] );
     ]

@@ -194,6 +194,72 @@ let test_table_iter_matches_hashtbl () =
     (Table.fold_sorted (fun k v acc -> (k, v) :: acc) t1 [])
     (Table.fold_sorted (fun k v acc -> (k, v) :: acc) t2 [])
 
+(* --- Backoff ----------------------------------------------------------- *)
+
+let test_backoff_growth_cap () =
+  let p = Backoff.make ~base_ms:100.0 ~multiplier:2.0 ~cap_ms:1000.0 ~jitter:0.0 () in
+  let d attempt = Backoff.delay_ms p ~rng:(Rng.create 0L) ~attempt in
+  check_float "first retry at base" 100.0 (d 1);
+  check_float "doubles" 200.0 (d 2);
+  check_float "doubles again" 400.0 (d 3);
+  check_float "hits the cap" 1000.0 (d 5);
+  check_float "stays capped for huge attempts" 1000.0 (d 1000);
+  Alcotest.(check bool) "attempt 0 rejected" true
+    (match d 0 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_backoff_jitter () =
+  let p = Backoff.make ~base_ms:100.0 ~jitter:0.5 () in
+  let a = Backoff.delay_ms p ~rng:(Rng.create 9L) ~attempt:1 in
+  let b = Backoff.delay_ms p ~rng:(Rng.create 9L) ~attempt:1 in
+  check_float "same rng, same jittered delay" a b;
+  Alcotest.(check bool) "jitter within [1-j, 1+j] band" true (a >= 50.0 && a <= 150.0);
+  (* Across many draws the jitter must actually vary. *)
+  let rng = Rng.create 10L in
+  let ds = Array.init 50 (fun _ -> Backoff.delay_ms p ~rng ~attempt:1) in
+  let lo, hi = Stats.min_max ds in
+  Alcotest.(check bool) "jitter varies" true (hi -. lo > 1.0)
+
+let test_backoff_zero_jitter_no_draw () =
+  (* jitter = 0 must leave the caller's stream untouched. *)
+  let p = Backoff.make ~jitter:0.0 () in
+  let a = Rng.create 3L and b = Rng.create 3L in
+  ignore (Backoff.delay_ms p ~rng:a ~attempt:4);
+  Alcotest.(check int64) "stream untouched" (Rng.next b) (Rng.next a)
+
+let test_backoff_retry () =
+  let p = Backoff.make ~base_ms:10.0 ~multiplier:2.0 ~cap_ms:100.0 ~jitter:0.0 ~max_attempts:4 () in
+  let calls = ref 0 in
+  let waited = ref 0.0 in
+  (match
+     Backoff.retry p ~rng:(Rng.create 1L)
+       ~on_wait:(fun ~attempt:_ ~delay_ms -> waited := !waited +. delay_ms)
+       (fun ~attempt ->
+         incr calls;
+         if attempt >= 3 then Ok "done" else Error `Again)
+   with
+  | Ok (v, attempts) ->
+      Alcotest.(check string) "value" "done" v;
+      Alcotest.(check int) "attempts" 3 attempts;
+      Alcotest.(check int) "calls" 3 !calls;
+      check_float "waited 10 + 20 between the three tries" 30.0 !waited
+  | Error _ -> Alcotest.fail "should succeed on attempt 3");
+  match Backoff.retry p ~rng:(Rng.create 1L) (fun ~attempt:_ -> Error `Nope) with
+  | Ok _ -> Alcotest.fail "always-failing operation cannot succeed"
+  | Error (g : _ Backoff.give_up) ->
+      Alcotest.(check int) "exhausts the budget" 4 g.attempts;
+      check_float "waited 10+20+40 between four tries" 70.0 g.waited_ms;
+      Alcotest.(check bool) "carries last error" true (g.last_error = `Nope)
+
+let test_backoff_validation () =
+  let rejects f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "negative base" true (rejects (fun () -> Backoff.make ~base_ms:(-1.0) ()));
+  Alcotest.(check bool) "multiplier < 1" true (rejects (fun () -> Backoff.make ~multiplier:0.5 ()));
+  Alcotest.(check bool) "cap below base" true
+    (rejects (fun () -> Backoff.make ~base_ms:100.0 ~cap_ms:50.0 ()));
+  Alcotest.(check bool) "jitter > 1" true (rejects (fun () -> Backoff.make ~jitter:1.5 ()));
+  Alcotest.(check bool) "nan jitter" true (rejects (fun () -> Backoff.make ~jitter:Float.nan ()));
+  Alcotest.(check bool) "zero attempts" true (rejects (fun () -> Backoff.make ~max_attempts:0 ()))
+
 let qcheck_rw_u64 =
   QCheck.Test.make ~name:"rw u64 roundtrip" ~count:200 QCheck.int64 (fun v ->
       let w = Rw.Writer.create () in
@@ -249,6 +315,14 @@ let () =
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
           QCheck_alcotest.to_alcotest qcheck_cdf_monotone;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "delay growth and cap" `Quick test_backoff_growth_cap;
+          Alcotest.test_case "jitter determinism" `Quick test_backoff_jitter;
+          Alcotest.test_case "zero jitter draws nothing" `Quick test_backoff_zero_jitter_no_draw;
+          Alcotest.test_case "retry success and give_up" `Quick test_backoff_retry;
+          Alcotest.test_case "policy validation" `Quick test_backoff_validation;
         ] );
       ( "rw",
         [
