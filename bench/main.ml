@@ -10,8 +10,9 @@
      dune exec bench/main.exe -- micro --json   # also write BENCH_micro.json
      dune exec bench/main.exe -- golden [--promote] [--full] [--dir DIR]
      dune exec bench/main.exe -- chaos     # Jan 21 / Feb 6 incident replays
+     dune exec bench/main.exe -- pathmon-smoke  # quick adaptive-selection sanity run
    Artefacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10a
-   fig10b fig10c app_effort survey isd_evolution recovery micro *)
+   fig10b fig10c app_effort survey isd_evolution recovery pathmon micro *)
 
 let time_section name f =
   (* scion-lint: allow determinism -- wall-clock timing of the bench harness itself, not simulated time *)
@@ -152,6 +153,52 @@ let micro ?(json = false) () =
       ( "sha256_1kib_ns",
         Test.make ~name:"sha256 (1 KiB)"
           (Staged.stage (fun () -> ignore (Scion_crypto.Sha256.digest payload))) );
+      ( "estimator_observe_ns",
+        Test.make ~name:"pathmon estimator observe (EWMA+window)"
+          (let est = Pathmon.Estimator.create () in
+           let rng = Scion_util.Rng.of_label 0xBE7CL "bench.estimator" in
+           Staged.stage (fun () ->
+               Pathmon.Estimator.observe est (`Rtt (20.0 +. Scion_util.Rng.float rng 10.0)))) );
+      ( "prober_tick_ns",
+        Test.make ~name:"pathmon prober tick (8 paths due)"
+          (let rng = Scion_util.Rng.of_label 0xBE7CL "bench.prober" in
+           let sample = Scion_util.Rng.of_label 0xBE7CL "bench.prober.sample" in
+           let pr =
+             Pathmon.Prober.create ~interval_ms:50.0 ~rng
+               ~probe:(fun ~fingerprint:_ ->
+                 if Scion_util.Rng.float sample 1.0 < 0.05 then `Lost
+                 else `Rtt (20.0 +. Scion_util.Rng.float sample 10.0))
+               ()
+           in
+           for i = 1 to 8 do
+             Pathmon.Prober.watch pr
+               ~fingerprint:(Printf.sprintf "bench-path-%d" i)
+               ~estimator:(Pathmon.Estimator.create ())
+           done;
+           let now = ref 0.0 in
+           Staged.stage (fun () ->
+               (* One second per tick: every watched path is due again. *)
+               now := !now +. 1.0;
+               ignore (Pathmon.Prober.tick pr ~now_s:!now))) );
+      ( "selector_choose_ns",
+        Test.make ~name:"pathmon selector choose (8 candidates)"
+          (let rng = Scion_util.Rng.of_label 0xBE7CL "bench.selector" in
+           let candidates =
+             List.init 8 (fun i ->
+                 let est = Pathmon.Estimator.create () in
+                 for _ = 1 to 16 do
+                   Pathmon.Estimator.observe est
+                     (`Rtt (20.0 +. (float_of_int i *. 5.0) +. Scion_util.Rng.float rng 10.0))
+                 done;
+                 {
+                   Pathmon.Selector.fingerprint = Printf.sprintf "bench-path-%d" i;
+                   static_ms = 20.0 +. (float_of_int i *. 5.0);
+                   estimator = Some est;
+                 })
+           in
+           let sel = Pathmon.Selector.create () in
+           Staged.stage (fun () ->
+               ignore (Pathmon.Selector.choose sel ~candidates ~active:"bench-path-0"))) );
       ( "lightningfilter_check_ns",
         Test.make ~name:"lightningfilter check"
           (let filter =
@@ -335,6 +382,29 @@ let chaos () =
     Printf.printf "\nchaos smoke: all checks passed (%d live GEANT->UVa paths pre-replay)\n"
       before
 
+(* --- Pathmon smoke -------------------------------------------------------- *)
+
+(* `main.exe pathmon-smoke`: a reduced-trial run of the pathmon experiment
+   asserting the headline property — adaptive selection strictly reduces
+   median time-in-degraded-path vs static — without paying for the full
+   golden figure. Wired into `dune build @pathmon`. *)
+let pathmon_smoke () =
+  Printf.printf "== Pathmon smoke: adaptive vs static under soft degradation ==\n%!";
+  let r =
+    time_section "pathmon smoke (4 trials)" (fun () -> Sciera.Exp_pathmon.run ~trials:4 ())
+  in
+  Sciera.Exp_pathmon.print_pathmon r;
+  let a = r.Sciera.Exp_pathmon.adaptive and s = r.Sciera.Exp_pathmon.static_ in
+  if a.Sciera.Exp_pathmon.median_degraded_s < s.Sciera.Exp_pathmon.median_degraded_s then
+    Printf.printf "pathmon smoke: ok (adaptive %.2f s < static %.2f s median degraded)\n"
+      a.Sciera.Exp_pathmon.median_degraded_s s.Sciera.Exp_pathmon.median_degraded_s
+  else begin
+    Printf.printf
+      "pathmon smoke: FAIL — adaptive median degraded %.2f s is not below static %.2f s\n"
+      a.Sciera.Exp_pathmon.median_degraded_s s.Sciera.Exp_pathmon.median_degraded_s;
+    exit 1
+  end
+
 (* --- Driver -------------------------------------------------------------- *)
 
 let run_artifact ~days ~json = function
@@ -361,6 +431,9 @@ let run_artifact ~days ~json = function
   | "recovery" ->
       let r = time_section "recovery experiment" (fun () -> Sciera.Exp_recovery.run ()) in
       Sciera.Exp_recovery.print_recovery r
+  | "pathmon" ->
+      let r = time_section "pathmon experiment" (fun () -> Sciera.Exp_pathmon.run ~trials:30 ()) in
+      Sciera.Exp_pathmon.print_pathmon r
   | "survey" -> Sciera.Survey.print_survey ()
   | "micro" -> micro ~json ()
   | other ->
@@ -370,7 +443,7 @@ let run_artifact ~days ~json = function
 let all_artifacts =
   [
     "table1"; "fig3"; "fig4"; "table2"; "app_effort"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
-    "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution"; "recovery"; "micro";
+    "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution"; "recovery"; "pathmon"; "micro";
   ]
 
 let () =
@@ -380,6 +453,7 @@ let () =
   match args with
   | "golden" :: rest -> golden rest
   | [ "chaos" ] -> chaos ()
+  | [ "pathmon-smoke" ] -> pathmon_smoke ()
   | [] ->
       Printf.printf "SCIERA reproduction — full evaluation run (Section 5)\n\n%!";
       List.iter (run_artifact ~days:Sciera.Incidents.window_days ~json) all_artifacts

@@ -1,19 +1,87 @@
 (* showpaths — the `scion showpaths` equivalent over the simulated SCIERA
    deployment: list the available paths between two ASes, with hop traces,
-   latency estimates, expiry and data-plane liveness.
+   latency estimates, expiry, data-plane liveness and live path quality
+   (from a short SCMP-echo probing campaign feeding the daemon's shared
+   quality cache, exactly as an adaptive endhost's prober would).
 
-   dune exec bin/showpaths.exe -- --src 71-225 --dst 71-2:0:5c --day 8 *)
+   dune exec bin/showpaths.exe -- --src 71-225 --dst 71-2:0:5c --day 8
+   dune exec bin/showpaths.exe -- --score   # sort by live quality score *)
 
 open Cmdliner
+module Combinator = Scion_controlplane.Combinator
 
-let run src dst day max_paths verify =
+(* Probes fired per path before rendering: enough to clear the selector's
+   [min_probes] warmup and fill most of the loss window. *)
+let probe_rounds = 12
+
+let probe_quality net ~quality ~dst_key paths =
+  let probe_rng = Scion_util.Rng.of_label 0x5109_4F4AL "showpaths.probe" in
+  let sample_rng = Scion_util.Rng.split probe_rng in
+  let by_fp = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace by_fp p.Combinator.fingerprint p) paths;
+  let prober =
+    Pathmon.Prober.create ~rng:probe_rng
+      ~probe:(fun ~fingerprint ->
+        match Hashtbl.find_opt by_fp fingerprint with
+        | Some p -> Sciera.Network.scmp_probe net ~rng:sample_rng p
+        | None -> `Lost)
+      ()
+  in
+  List.iter
+    (fun p ->
+      Pathmon.Prober.watch prober ~fingerprint:p.Combinator.fingerprint
+        ~estimator:
+          (Pathmon.Cache.find quality ~dst:dst_key
+             ~fingerprint:p.Combinator.fingerprint))
+    paths;
+  for round = 1 to probe_rounds do
+    ignore (Pathmon.Prober.probe_all prober ~now_s:(float_of_int round))
+  done
+
+let run src dst day max_paths verify by_score =
   let net = Sciera.Network.create ~verify_pcbs:verify () in
   Sciera.Network.set_day net day;
   let src = Scion_addr.Ia.of_string src and dst = Scion_addr.Ia.of_string dst in
   let paths = Sciera.Network.paths net ~src ~dst in
-  Printf.printf "Available paths %s (%s) -> %s (%s) on window day %.1f:\n"
+  let daemon =
+    Scion_endhost.Daemon.create ~ia:src
+      ~fetch:(fun ~dst -> Sciera.Network.paths net ~src ~dst)
+      ()
+  in
+  let quality = Scion_endhost.Daemon.quality daemon in
+  let dst_key = Scion_addr.Ia.to_string dst in
+  probe_quality net ~quality ~dst_key paths;
+  let config = Pathmon.Selector.default_config in
+  let candidate p =
+    {
+      Pathmon.Selector.fingerprint = p.Combinator.fingerprint;
+      static_ms = Sciera.Network.scion_rtt_base net p;
+      estimator =
+        Pathmon.Cache.peek quality ~dst:dst_key
+          ~fingerprint:p.Combinator.fingerprint;
+    }
+  in
+  let score p = Pathmon.Selector.score config (candidate p) in
+  (* The path a converged adaptive connection would hold: best live score,
+     ties towards the static ranking (list order). *)
+  let active_fp =
+    match paths with
+    | [] -> ""
+    | first :: rest ->
+        (List.fold_left
+           (fun best p -> if score p < score best then p else best)
+           first rest)
+          .Combinator.fingerprint
+  in
+  let paths =
+    if by_score then
+      List.stable_sort (fun a b -> Float.compare (score a) (score b)) paths
+    else paths
+  in
+  Printf.printf "Available paths %s (%s) -> %s (%s) on window day %.1f%s:\n"
     (Scion_addr.Ia.to_string src) (Sciera.Topology.name_of src)
-    (Scion_addr.Ia.to_string dst) (Sciera.Topology.name_of dst) day;
+    (Scion_addr.Ia.to_string dst) (Sciera.Topology.name_of dst) day
+    (if by_score then ", sorted by live score" else "");
   let shown = ref 0 in
   List.iter
     (fun p ->
@@ -30,12 +98,31 @@ let run src dst day max_paths verify =
                   Printf.sprintf "%s#%d,%d"
                     (Scion_addr.Ia.to_string h.Scion_addr.Hop_pred.ia)
                     h.Scion_addr.Hop_pred.ingress h.Scion_addr.Hop_pred.egress)
-                p.Scion_controlplane.Combinator.interfaces));
+                p.Combinator.interfaces));
         Printf.printf "     mtu: %d, est rtt: %.1f ms, expires in %.1f h, status: %s\n"
-          p.Scion_controlplane.Combinator.mtu
+          p.Combinator.mtu
           (Sciera.Network.scion_rtt_base net p)
-          ((p.Scion_controlplane.Combinator.expiry -. Sciera.Network.now_unix net) /. 3600.0)
-          (if alive then "alive" else "dead (data plane)")
+          ((p.Combinator.expiry -. Sciera.Network.now_unix net) /. 3600.0)
+          (if alive then "alive" else "dead (data plane)");
+        let live_rtt =
+          match Pathmon.Cache.peek quality ~dst:dst_key ~fingerprint:p.Combinator.fingerprint with
+          | Some est -> (
+              match Pathmon.Estimator.rtt_ewma_ms est with
+              | Some ms ->
+                  Printf.sprintf "%.1f ms (+/- %.1f)" ms
+                    (Pathmon.Estimator.rtt_deviation_ms est)
+              | None -> "no replies")
+          | None -> "unprobed"
+        in
+        let loss =
+          match Pathmon.Cache.peek quality ~dst:dst_key ~fingerprint:p.Combinator.fingerprint with
+          | Some est -> Pathmon.Estimator.loss_rate est *. 100.0
+          | None -> 0.0
+        in
+        Printf.printf "     live rtt: %s, loss: %.0f%%, score: %.1f, %s\n"
+          live_rtt loss (score p)
+          (if String.equal p.Combinator.fingerprint active_fp then "active"
+           else "parked")
       end)
     paths;
   Printf.printf "%d paths total, %d shown\n" (List.length paths) !shown;
@@ -55,9 +142,12 @@ let max_arg = Arg.(value & opt int 10 & info [ "max" ] ~doc:"Maximum paths to pr
 let verify_arg =
   Arg.(value & flag & info [ "verify-pcbs" ] ~doc:"Cryptographically verify beacons (slower).")
 
+let score_arg =
+  Arg.(value & flag & info [ "score" ] ~doc:"Sort paths by live quality score (best first).")
+
 let cmd =
   Cmd.v
     (Cmd.info "showpaths" ~doc:"List SCION paths in the simulated SCIERA deployment")
-    Term.(const run $ src_arg $ dst_arg $ day_arg $ max_arg $ verify_arg)
+    Term.(const run $ src_arg $ dst_arg $ day_arg $ max_arg $ verify_arg $ score_arg)
 
 let () = exit (Cmd.eval' cmd)

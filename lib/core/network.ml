@@ -18,6 +18,7 @@ type t = {
   mutable last_beacon_day : float;
   path_cache : (string, Combinator.fullpath list) Hashtbl.t;
   mutable rebeacons : int;
+  mutable probe_seq : int;
   obs : Obs.t option;
 }
 
@@ -190,6 +191,7 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) ?tele
       last_beacon_day = -1.0;
       path_cache = Hashtbl.create 256;
       rebeacons = 0;
+      probe_seq = 0;
       obs = telemetry;
     }
   in
@@ -270,6 +272,31 @@ let path_links t (fp : Combinator.fullpath) =
 
 let scion_rtt_sample t fp = Net.path_rtt t.net (path_links t fp)
 let scion_rtt_base t fp = 2.0 *. Net.path_base_latency t.net (path_links t fp)
+
+(* One SCMP echo over [fp]: request walked hop by hop through the border
+   routers (deterministic dataplane ground truth — down interfaces, expired
+   hop fields), reply walked back over the reversed path, and the RTT/loss
+   sampled from the link model with the *caller's* RNG. The workload stream
+   ([t.net]'s own rng) is never touched, so attaching probers leaves every
+   existing figure byte-identical. *)
+let scmp_probe t ~rng (fp : Combinator.fullpath) =
+  let module Packet = Scion_dataplane.Packet in
+  let module Scmp = Scion_dataplane.Scmp in
+  t.probe_seq <- (t.probe_seq + 1) land 0xFFFF;
+  let request = Scmp.encode (Scmp.Echo_request { id = 0x9A11; seq = t.probe_seq; data = "pathmon" }) in
+  let now = now_unix t in
+  match Mesh.walk t.mesh ~now ~payload:request ~proto:Packet.Scmp fp with
+  | Mesh.Walk_dropped _ -> `Lost
+  | Mesh.Walk_delivered { dst; packet; _ } when Ia.equal dst fp.Combinator.dst -> (
+      match Scmp.echo_reply_for packet.Packet.payload with
+      | None -> `Lost
+      | Some reply_payload -> (
+          let reply = Packet.reply_skeleton packet ~payload:reply_payload in
+          match Mesh.walk_packet t.mesh ~now ~from:fp.Combinator.dst reply with
+          | Mesh.Walk_delivered { dst; _ } when Ia.equal dst fp.Combinator.src ->
+              Net.path_rtt_with t.net ~rng (path_links t fp)
+          | Mesh.Walk_delivered _ | Mesh.Walk_dropped _ -> `Lost))
+  | Mesh.Walk_delivered _ -> `Lost
 
 let ip_route t ~src ~dst =
   let a = lookup "AS" Ia.to_string t.ipnode src

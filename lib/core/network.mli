@@ -62,6 +62,16 @@ val scion_rtt_sample : t -> Combinator.fullpath -> [ `Rtt of float | `Lost ]
 val scion_rtt_base : t -> Combinator.fullpath -> float
 (** Deterministic RTT (2x one-way base+extra latency), for path ranking. *)
 
+val scmp_probe :
+  t -> rng:Scion_util.Rng.t -> Combinator.fullpath -> [ `Rtt of float | `Lost ]
+(** One full SCMP echo over the path: the request is walked hop by hop
+    through the border routers, the echoed reply is walked back over the
+    reversed path, and the RTT (or stochastic loss) is sampled from the
+    link model using the {b caller's} [rng]. Same determinism contract as
+    {!inject}: pass a private stream ([Rng.of_label seed "pathmon.probe"])
+    and probing never perturbs workload draws. This is the probe source
+    behind [Pathmon.Prober]. *)
+
 val ip_rtt_sample : t -> src:Ia.t -> dst:Ia.t -> [ `Rtt of float | `Lost ]
 (** One ICMP ping over the BGP route of the Internet overlay. *)
 

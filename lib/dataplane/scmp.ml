@@ -33,6 +33,21 @@ let encode t =
   | Destination_unreachable | Expired_hop_field | Invalid_hop_field_mac -> ());
   Rw.Writer.contents w
 
+let echo_reply_for s =
+  let r = Rw.Reader.of_string s in
+  try
+    let ty = Rw.Reader.u8 r in
+    let code = Rw.Reader.u8 r in
+    let _checksum = Rw.Reader.u16 r in
+    match (ty, code) with
+    | 128, 0 ->
+        let id = Rw.Reader.u16 r in
+        let seq = Rw.Reader.u16 r in
+        let data = Rw.Reader.raw r (Rw.Reader.remaining r) in
+        Some (encode (Echo_reply { id; seq; data }))
+    | _ -> None
+  with Rw.Truncated -> None
+
 let decode s =
   let r = Rw.Reader.of_string s in
   try

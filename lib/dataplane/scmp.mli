@@ -14,6 +14,13 @@ type t =
 
 val encode : t -> string
 val decode : string -> (t, string) result
+
+val echo_reply_for : string -> string option
+(** [echo_reply_for payload] is the encoded echo reply answering [payload]
+    when it decodes as an echo request (same id/seq/data), and [None] for
+    anything else — what an end host's SCMP responder sends back without
+    caring about the rest of the message zoo. *)
+
 val type_code : t -> int * int
 (** (type, code) pair, mirroring the SCMP numbering: echo request 128,
     echo reply 129, errors in the 1-100 range. *)

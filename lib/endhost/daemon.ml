@@ -24,6 +24,7 @@ type t = {
   mutable evicted_count : int;
   mutable fetch_attempts : int;
   mutable fetch_wait_ms : float;
+  quality : Pathmon.Cache.t;
   obs : obs option;
 }
 
@@ -35,7 +36,7 @@ let make_obs registry ~ia =
   }
 
 let create ~ia ~fetch ?(cache_ttl = 300.0) ?(expiry_margin = 60.0) ?(revocation_ttl = 10.0)
-    ?retry ?rng ?metrics () =
+    ?retry ?rng ?quality ?metrics () =
   let retry : (Scion_util.Backoff.policy * Scion_util.Rng.t) option =
     match (retry, rng) with
     | Some policy, Some rng -> Some (policy, rng)
@@ -58,10 +59,12 @@ let create ~ia ~fetch ?(cache_ttl = 300.0) ?(expiry_margin = 60.0) ?(revocation_
     evicted_count = 0;
     fetch_attempts = 0;
     fetch_wait_ms = 0.0;
+    quality = (match quality with Some c -> c | None -> Pathmon.Cache.create ());
     obs = Option.map (fun registry -> make_obs registry ~ia) metrics;
   }
 
 let ia t = t.ia
+let quality t = t.quality
 
 type source = From_cache | Fetched
 

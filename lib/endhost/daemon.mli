@@ -17,6 +17,7 @@ val create :
   ?revocation_ttl:float ->
   ?retry:Scion_util.Backoff.policy ->
   ?rng:Scion_util.Rng.t ->
+  ?quality:Pathmon.Cache.t ->
   ?metrics:Telemetry.Metrics.registry ->
   unit ->
   t
@@ -35,6 +36,12 @@ val create :
     source [cache] or [fetch]. *)
 
 val ia : t -> Scion_addr.Ia.t
+
+val quality : t -> Pathmon.Cache.t
+(** The host's shared per-destination path-quality cache: probers feed it,
+    adaptive connections ({!Pan.Conn.adaptive}) and [showpaths] read it.
+    Defaults to a fresh (metrics-less) cache when [?quality] was not
+    given, so every daemon can answer quality queries. *)
 
 type source = From_cache | Fetched
 

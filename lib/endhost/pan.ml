@@ -95,6 +95,11 @@ module Conn = struct
 
   type transport = Combinator.fullpath -> payload:string -> send_outcome
 
+  type adaptive = {
+    selector : Pathmon.Selector.t;
+    quality : string -> Pathmon.Estimator.t option;
+  }
+
   type obs = {
     o_sent : M.counter;
     o_failed : M.counter;
@@ -102,6 +107,8 @@ module Conn = struct
     o_reprobes : M.counter option;
         (** Registered only on re-probing connections, so legacy
             connections keep their exact snapshot shape. *)
+    o_soft : M.counter option;
+        (** Same discipline for adaptive connections. *)
   }
 
   type t = {
@@ -110,14 +117,17 @@ module Conn = struct
     mutable dead : (float * Combinator.fullpath) list;
         (** Failed-over paths awaiting re-probe: (due time s, path). *)
     rank : (string, int) Hashtbl.t;  (** fingerprint -> preference rank *)
+    statics : (string, float) Hashtbl.t;  (** fingerprint -> dial-time latency_of *)
     fails : (string, int) Hashtbl.t;  (** fingerprint -> consecutive failures *)
     reprobe : (Scion_util.Backoff.policy * Scion_util.Rng.t) option;
+    adaptive : adaptive option;
     mutable failover_count : int;
     mutable reprobe_count : int;
+    mutable soft_switch_count : int;
     obs : obs option;
   }
 
-  let make_obs registry ~peer ~reprobing =
+  let make_obs registry ~peer ~reprobing ~adapting =
     let base = [ ("peer", peer) ] in
     {
       o_sent = M.counter registry ~labels:(("outcome", "sent") :: base) "pan.send";
@@ -125,9 +135,11 @@ module Conn = struct
       o_failovers = M.counter registry ~labels:base "pan.failovers";
       o_reprobes =
         (if reprobing then Some (M.counter registry ~labels:base "pan.reprobes") else None);
+      o_soft =
+        (if adapting then Some (M.counter registry ~labels:base "pan.soft_switches") else None);
     }
 
-  let dial ?metrics ?(peer = "") ?reprobe ?rng ~policy ~latency_of ~transport ~paths () =
+  let dial ?metrics ?(peer = "") ?reprobe ?rng ?adaptive ~policy ~latency_of ~transport ~paths () =
     let reprobe =
       match (reprobe, rng) with
       | Some policy, Some rng -> Some (policy, rng)
@@ -138,20 +150,30 @@ module Conn = struct
     | [] -> Error "no path satisfies the policy"
     | ranked ->
         let rank = Hashtbl.create 16 in
-        List.iteri (fun i p -> Hashtbl.replace rank p.Combinator.fingerprint i) ranked;
+        let statics = Hashtbl.create 16 in
+        List.iteri
+          (fun i p ->
+            Hashtbl.replace rank p.Combinator.fingerprint i;
+            Hashtbl.replace statics p.Combinator.fingerprint (latency_of p))
+          ranked;
         Ok
           {
             transport;
             ranked;
             dead = [];
             rank;
+            statics;
             fails = Hashtbl.create 16;
             reprobe;
+            adaptive;
             failover_count = 0;
             reprobe_count = 0;
+            soft_switch_count = 0;
             obs =
               Option.map
-                (fun registry -> make_obs registry ~peer ~reprobing:(reprobe <> None))
+                (fun registry ->
+                  make_obs registry ~peer ~reprobing:(reprobe <> None)
+                    ~adapting:(adaptive <> None))
                 metrics;
           }
 
@@ -183,10 +205,44 @@ module Conn = struct
         let merged = List.map snd due @ t.ranked in
         t.ranked <- List.stable_sort (fun a b -> Int.compare (rank_of t a) (rank_of t b)) merged
 
+  (* Soft failover: ask the selector whether live quality says the head of
+     the ranked list should no longer carry traffic, and rotate the chosen
+     path to the front if so. Purely a reordering — no path is dropped or
+     parked, so hard failover and re-probing compose underneath. *)
+  let adapt t =
+    match (t.adaptive, t.ranked) with
+    | None, _ | _, [] -> ()
+    | Some a, (active :: _ as ranked) ->
+        let candidates =
+          List.map
+            (fun (p : Combinator.fullpath) ->
+              {
+                Pathmon.Selector.fingerprint = p.Combinator.fingerprint;
+                static_ms =
+                  Scion_util.Table.find_or ~default:infinity t.statics p.Combinator.fingerprint;
+                estimator = a.quality p.Combinator.fingerprint;
+              })
+            ranked
+        in
+        let chosen =
+          Pathmon.Selector.choose a.selector ~candidates ~active:active.Combinator.fingerprint
+        in
+        if not (String.equal chosen active.Combinator.fingerprint) then begin
+          let front, back =
+            List.partition (fun p -> String.equal p.Combinator.fingerprint chosen) ranked
+          in
+          t.ranked <- front @ back;
+          t.soft_switch_count <- t.soft_switch_count + 1;
+          match t.obs with
+          | Some { o_soft = Some c; _ } -> M.inc c
+          | Some { o_soft = None; _ } | None -> ()
+        end
+
   let send ?now t ~payload =
     (match (t.reprobe, now) with
     | Some _, Some now -> resurrect t ~now
     | (Some _ | None), _ -> ());
+    adapt t;
     let rec attempt () =
       match t.ranked with
       | [] -> Send_failed
@@ -224,4 +280,5 @@ module Conn = struct
 
   let failovers t = t.failover_count
   let reprobes t = t.reprobe_count
+  let soft_switches t = t.soft_switch_count
 end

@@ -49,6 +49,16 @@ module Conn : sig
   type transport = Combinator.fullpath -> payload:string -> send_outcome
   (** Supplied by the host environment (simulator). *)
 
+  type adaptive = {
+    selector : Pathmon.Selector.t;
+        (** Per-connection hysteresis state (do not share across conns). *)
+    quality : string -> Pathmon.Estimator.t option;
+        (** Live estimator lookup by path fingerprint — typically
+            [Pathmon.Cache.peek] on the daemon's shared quality cache, so
+            every connection to the destination pools its knowledge. *)
+  }
+  (** What a soft-failover connection consults before each send. *)
+
   type t
 
   val dial :
@@ -56,6 +66,7 @@ module Conn : sig
     ?peer:string ->
     ?reprobe:Scion_util.Backoff.policy ->
     ?rng:Scion_util.Rng.t ->
+    ?adaptive:adaptive ->
     policy:policy ->
     latency_of:(Combinator.fullpath -> float) ->
     transport:transport ->
@@ -74,7 +85,16 @@ module Conn : sig
       every parked path whose probe timer is due is re-inserted at its
       original preference rank, so the connection returns to the preferred
       path after repair instead of sticking to the detour. Re-probing
-      connections additionally count [pan.reprobes{peer}]. *)
+      connections additionally count [pan.reprobes{peer}].
+
+      With [?adaptive], every {!send} first asks the
+      {!Pathmon.Selector} whether live quality (fed by a prober into the
+      shared cache) says the active path has degraded past hysteresis, and
+      soft-fails over to the best-scoring candidate if so — returning the
+      same way once the preferred path recovers. Soft failover only
+      reorders candidates; it composes with hard failover and re-probe
+      parking. Adaptive connections additionally count
+      [pan.soft_switches{peer}]. *)
 
   val current_path : t -> Combinator.fullpath
   val candidates : t -> int
@@ -93,4 +113,7 @@ module Conn : sig
 
   val reprobes : t -> int
   (** Parked paths that have been given another chance by {!send}. *)
+
+  val soft_switches : t -> int
+  (** Selector-driven path changes (degradations and recoveries both). *)
 end

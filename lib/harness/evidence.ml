@@ -40,6 +40,7 @@ let figures =
     ("survey", "Section 5.6: operator survey");
     ("isd_evolution", "Section 3.3: ISD evolution blast radius");
     ("recovery", "Self-healing: time to recover from link failure");
+    ("pathmon", "Pathmon: adaptive vs static selection under soft degradation");
   ]
 
 let ids = List.map fst figures
@@ -54,6 +55,7 @@ let title_of id =
 let connectivity_days = ref 4.0
 let resilience_runs = ref 25
 let recovery_trials = ref 12
+let pathmon_trials = ref 10
 
 (* --- Memoised datasets ------------------------------------------------ *)
 
@@ -81,6 +83,12 @@ let recovery_data =
      let r = Sciera.Exp_recovery.run ~trials:!recovery_trials ~telemetry:obs () in
      (r, Sciera.Obs.samples obs))
 
+let pathmon_data =
+  lazy
+    (let obs = Sciera.Obs.create () in
+     let r = Sciera.Exp_pathmon.run ~trials:!pathmon_trials ~telemetry:obs () in
+     (r, Sciera.Obs.samples obs))
+
 let bootstrap =
   lazy
     (let obs = Sciera.Obs.create () in
@@ -96,11 +104,14 @@ let isd_evolution =
 (* Opting into full scale after a dataset has been memoised would silently
    mix scales within one process, so it is a programming error. *)
 let use_full_scale () =
-  if Lazy.is_val connectivity || Lazy.is_val resilience || Lazy.is_val recovery_data then
-    invalid_arg "Evidence.use_full_scale: a dataset is already memoised at evidence scale";
+  if
+    Lazy.is_val connectivity || Lazy.is_val resilience || Lazy.is_val recovery_data
+    || Lazy.is_val pathmon_data
+  then invalid_arg "Evidence.use_full_scale: a dataset is already memoised at evidence scale";
   connectivity_days := 20.0;
   resilience_runs := 100;
-  recovery_trials := 40
+  recovery_trials := 40;
+  pathmon_trials := 30
 
 (* --- Assembly --------------------------------------------------------- *)
 
@@ -341,6 +352,24 @@ let recovery () =
       ]
     (fun () -> print_recovery r)
 
+let pathmon () =
+  let r, samples = Lazy.force pathmon_data in
+  let open Sciera.Exp_pathmon in
+  make ~id:"pathmon" ~samples
+    ~headline:
+      [
+        ("trials", float_of_int r.trials);
+        ("adaptive_median_degraded_s", r.adaptive.median_degraded_s);
+        ("static_median_degraded_s", r.static_.median_degraded_s);
+        ("adaptive_p90_degraded_s", r.adaptive.p90_degraded_s);
+        ("adaptive_median_inflation", r.adaptive.median_inflation);
+        ("static_median_inflation", r.static_.median_inflation);
+        ("adaptive_back_on_preferred", r.adaptive.returned_to_preferred);
+        ("soft_switches", float_of_int r.adaptive.soft_switches);
+        ("probes", float_of_int r.adaptive.probes);
+      ]
+    (fun () -> print_pathmon r)
+
 let run id =
   match id with
   | "table1" -> table1 ()
@@ -359,4 +388,5 @@ let run id =
   | "survey" -> survey ()
   | "isd_evolution" -> isd ()
   | "recovery" -> recovery ()
+  | "pathmon" -> pathmon ()
   | other -> invalid_arg (Printf.sprintf "Evidence.run: unknown figure %S" other)

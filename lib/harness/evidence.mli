@@ -38,9 +38,13 @@ val resilience_runs : int ref
 val recovery_trials : int ref
 (** Fault-injection trials behind the recovery figure (full run: 40). *)
 
+val pathmon_trials : int ref
+(** Soft-degradation trials behind the pathmon figure (full run: 30). *)
+
 val use_full_scale : unit -> unit
 (** Switch every scale knob to the full EXPERIMENTS.md campaign (20 days,
-    100 failure runs, 40 recovery trials) — the [@golden-full] tier.
+    100 failure runs, 40 recovery trials, 30 pathmon trials) — the
+    [@golden-full] tier.
     Raises [Invalid_argument] if a scale-dependent dataset has already
     been memoised in this process, since that would mix scales. *)
 

@@ -151,23 +151,31 @@ let extra_loss t id = (get t id).extra_loss
    the guard and the draw are exactly the pre-burst ones. *)
 let loss_of l = Float.min 1.0 (l.p.loss +. l.extra_loss)
 
-let one_way_ms t l =
-  l.p.latency_ms +. l.extra_ms +. Rng.exponential t.rng ~rate:(1.0 /. Float.max 1e-6 l.p.jitter_ms)
+let one_way_ms_with ~rng l =
+  l.p.latency_ms +. l.extra_ms +. Rng.exponential rng ~rate:(1.0 /. Float.max 1e-6 l.p.jitter_ms)
 
-let sample_one_way t id =
+let one_way_ms t l = one_way_ms_with ~rng:t.rng l
+
+let sample_one_way_with t ~rng id =
   let l = get t id in
   if not l.up then `Lost
-  else if loss_of l > 0.0 && Rng.float t.rng 1.0 < loss_of l then `Lost
-  else `Delivered (one_way_ms t l)
+  else if loss_of l > 0.0 && Rng.float rng 1.0 < loss_of l then `Lost
+  else `Delivered (one_way_ms_with ~rng l)
 
-let path_rtt t ids =
+let sample_one_way t id = sample_one_way_with t ~rng:t.rng id
+
+let path_rtt_with t ~rng ids =
   let rec go acc = function
     | [] -> `Rtt acc
     | id :: rest -> (
-        match sample_one_way t id with `Lost -> `Lost | `Delivered ms -> go (acc +. ms) rest)
+        match sample_one_way_with t ~rng id with
+        | `Lost -> `Lost
+        | `Delivered ms -> go (acc +. ms) rest)
   in
   (* Forward, then return traversal with independent samples. *)
   match go 0.0 ids with `Lost -> `Lost | `Rtt fwd -> ( match go fwd ids with r -> r)
+
+let path_rtt t ids = path_rtt_with t ~rng:t.rng ids
 
 let path_base_latency t ids =
   List.fold_left

@@ -66,9 +66,21 @@ val extra_loss : t -> link_id -> float
 val sample_one_way : t -> link_id -> [ `Delivered of float | `Lost ]
 (** One traversal: [`Delivered ms] or [`Lost]. Down links always lose. *)
 
+val sample_one_way_with :
+  t -> rng:Scion_util.Rng.t -> link_id -> [ `Delivered of float | `Lost ]
+(** {!sample_one_way}, but the loss and jitter draws come from the caller's
+    [rng] instead of the fabric's own stream. Observers with private
+    streams (the [pathmon] prober) use this so their sampling never
+    perturbs workload draws. *)
+
 val path_rtt : t -> link_id list -> [ `Rtt of float | `Lost ]
 (** Round trip over the link sequence (forward then back, independent
     samples). Any lost traversal loses the ping. *)
+
+val path_rtt_with :
+  t -> rng:Scion_util.Rng.t -> link_id list -> [ `Rtt of float | `Lost ]
+(** {!path_rtt} drawing every sample from the caller's [rng] — the
+    RNG-isolated variant probers must use. *)
 
 val path_base_latency : t -> link_id list -> float
 (** Sum of base + extra latencies, one way, no jitter — the deterministic

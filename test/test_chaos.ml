@@ -1,0 +1,128 @@
+(* Chaos soak: seeded qcheck property composing random small self-closing
+   Fault.Scenario programs — latency windows, outages, loss bursts, flaps,
+   node partitions, control blackouts — against the full simulated mesh,
+   asserting that Pan.Conn.send never raises while the storm replays and
+   that delivery recovers once every fault has cleared.
+
+   Also wired into `dune build @chaos` (alias rule in test/dune) next to
+   the canned incident replays run from bench/. *)
+
+module Rng = Scion_util.Rng
+module Pan = Scion_endhost.Pan
+module Scenario = Fault.Scenario
+
+(* One shared network: every generated scenario is self-closing, and the
+   property checks full replay, so each case hands the fabric back healed
+   (the same reuse discipline as test_golden's injector-isolation test). *)
+let net = lazy (Sciera.Network.create ~per_origin:8 ~verify_pcbs:false ())
+
+let pairs =
+  lazy
+    (let net = Lazy.force net in
+     let ias =
+       List.map (fun (a : Sciera.Topology.as_info) -> a.Sciera.Topology.ia) Sciera.Topology.ases
+     in
+     List.concat_map
+       (fun a ->
+         List.filter_map
+           (fun b ->
+             if
+               (not (Scion_addr.Ia.equal a b))
+               && List.length (Sciera.Network.paths net ~src:a ~dst:b) >= 2
+             then Some (a, b)
+             else None)
+           ias)
+       ias
+     |> Array.of_list)
+
+(* A fault spec is plain small ints so qcheck can print and shrink it;
+   [to_scenario] maps them onto bounded, always-valid scenario programs
+   that open no later than 4.5 s and close no later than ~10 s. *)
+type fault_spec = (int * int) * (int * int * int)
+
+let to_scenario fabric (((shape, link), (from_q, dur_q, mag_q)) : fault_spec) =
+  let link = link mod Netsim.Net.num_links fabric in
+  let from_s = 0.5 +. (0.04 *. float_of_int (from_q mod 100)) in
+  let to_s = from_s +. 0.5 +. (0.05 *. float_of_int (dur_q mod 100)) in
+  match shape mod 6 with
+  | 0 -> Scenario.window ~link ~from_s ~to_s ~extra_ms:(20.0 +. float_of_int (mag_q mod 200))
+  | 1 -> Scenario.outage ~link ~from_s ~to_s
+  | 2 -> Scenario.burst ~link ~from_s ~to_s ~loss:(0.1 +. (0.1 *. float_of_int (mag_q mod 8)))
+  | 3 ->
+      Scenario.flap ~link ~start_s:from_s ~count:(1 + (mag_q mod 3)) ~down_s:0.4 ~up_s:0.4 ()
+  | 4 ->
+      let node, _ = Netsim.Net.endpoints fabric link in
+      Scenario.partition ~node ~from_s ~to_s
+  | _ -> Scenario.blackout ~from_s ~to_s
+
+let storm_horizon_s = 15.0 (* every generated fault has cleared by here *)
+
+let chaos_property (pair_idx, seed, specs) =
+  let net = Lazy.force net in
+  let fabric = Sciera.Network.scion_fabric net in
+  let pairs = Lazy.force pairs in
+  let src, dst = pairs.(pair_idx mod Array.length pairs) in
+  let scenario = Scenario.seq (List.map (to_scenario fabric) specs) in
+  let engine = Netsim.Engine.create () in
+  let injector =
+    Sciera.Network.inject net ~engine
+      ~rng:(Rng.of_label (Int64.of_int seed) "chaos.fault")
+      scenario
+  in
+  let latency_of = Sciera.Network.scion_rtt_base net in
+  let transport path ~payload:_ =
+    match Sciera.Network.scion_rtt_sample net path with
+    | `Rtt ms -> Pan.Conn.Sent { rtt_ms = ms }
+    | `Lost -> Pan.Conn.Send_failed
+  in
+  let conn =
+    match
+      Pan.Conn.dial ~policy:Pan.default_policy ~latency_of ~transport
+        ~paths:(Sciera.Network.paths net ~src ~dst)
+        ~reprobe:(Scion_util.Backoff.make ~base_ms:500.0 ())
+        ~rng:(Rng.of_label (Int64.of_int seed) "chaos.reprobe")
+        ()
+    with
+    | Ok c -> c
+    | Error e -> QCheck.Test.fail_reportf "dial failed before any fault: %s" e
+  in
+  (* The storm: Send_failed is acceptable mid-outage, an exception never. *)
+  let clock = ref 0.1 in
+  while !clock < storm_horizon_s do
+    Netsim.Engine.run engine ~until:!clock;
+    (try ignore (Pan.Conn.send ~now:!clock conn ~payload:"chaos" : Pan.Conn.send_outcome)
+     with e ->
+       QCheck.Test.fail_reportf "send raised at t=%.2f: %s" !clock (Printexc.to_string e));
+    clock := !clock +. 0.5
+  done;
+  Netsim.Engine.run engine;
+  if Fault.Injector.fired injector <> List.length (Fault.Injector.events injector) then
+    QCheck.Test.fail_reportf "scenario did not fully replay";
+  (* Self-closing program fully replayed: the fabric is healed; delivery
+     must come back within the re-probe budget. *)
+  let rec recovers attempts now =
+    if attempts = 0 then false
+    else
+      match
+        try Pan.Conn.send ~now conn ~payload:"recovery"
+        with e ->
+          QCheck.Test.fail_reportf "send raised after recovery: %s" (Printexc.to_string e)
+      with
+      | Pan.Conn.Sent _ -> true
+      | Pan.Conn.Send_failed -> recovers (attempts - 1) (now +. 1.0)
+  in
+  if not (recovers 120 storm_horizon_s) then
+    QCheck.Test.fail_reportf "delivery did not recover after the faults cleared";
+  true
+
+let chaos_soak =
+  let spec_arb =
+    QCheck.(pair (pair small_nat small_nat) (triple small_nat small_nat small_nat))
+  in
+  QCheck.Test.make ~name:"random fault storms: send total, delivery recovers" ~count:25
+    QCheck.(triple small_nat small_nat (list_of_size Gen.(1 -- 4) spec_arb))
+    chaos_property
+
+let () =
+  Alcotest.run "chaos"
+    [ ("soak", [ QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x9a7a |]) chaos_soak ]) ]
