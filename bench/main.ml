@@ -212,6 +212,15 @@ let micro ?(json = false) () =
                ignore
                  (Sciera.Science_dmz.Filter.check filter ~now:0.0 ~src:(ia "71-88") ~payload ~tag)))
       );
+      ( "lint_full_tree_ns",
+        Test.make ~name:"scion-lint full-tree analysis (2-phase)"
+          (let lint_dirs =
+             List.filter Sys.file_exists Scion_lint_lib.Driver.default_dirs
+           in
+           Staged.stage (fun () ->
+               ignore
+                 (Scion_lint_lib.Driver.analyze ~rules:Scion_lint_lib.Lint_rules.rules ~root:"."
+                    ~dirs:lint_dirs ()))) );
     ]
   in
   Printf.printf "== Microbenchmarks (Bechamel) ==\n%!";

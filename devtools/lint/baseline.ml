@@ -1,0 +1,75 @@
+(* Baseline ratchet for scion-lint.
+
+   A baseline records the findings that existed when a pass was adopted, as
+   counts keyed by [rule|file|symbol|detail]. A linted tree is compared
+   against it occurrence-by-occurrence: for each key, the first [baseline
+   count] findings (in report order) are forgiven and anything beyond that
+   fails. Fixing a finding can therefore never introduce a failure, while
+   any *new* finding — a new site, a new allocation kind, one more
+   occurrence of an old kind — breaks the build. Regenerate with
+   [scion_lint --write-baseline] after deliberate changes; review the diff
+   like code, and only ever let counts shrink. *)
+
+module Json = Telemetry.Json
+
+let key (f : Lint.finding) =
+  String.concat "|" [ f.Lint.rule; f.Lint.file; f.Lint.symbol; f.Lint.detail ]
+
+type t = (string, int) Hashtbl.t
+
+let empty () : t = Hashtbl.create 1
+
+(* The baseline file is JSON: {"version":1,"findings":{"<key>":<count>,...}}
+   with keys sorted, so regeneration diffs are stable. *)
+let of_string src : (t, string) result =
+  match Json.parse src with
+  | Error e -> Error e
+  | Ok doc -> (
+      match Json.member "findings" doc with
+      | Some (Json.Obj entries) ->
+          let tbl = Hashtbl.create (List.length entries) in
+          let bad = ref None in
+          List.iter
+            (fun (k, v) ->
+              match Json.to_num_opt v with
+              | Some n when Float.is_integer n && n >= 0. ->
+                  Hashtbl.replace tbl k (int_of_float n)
+              | _ -> if !bad = None then bad := Some k)
+            entries;
+          (match !bad with
+          | Some k -> Error (Printf.sprintf "finding %S has a non-integer count" k)
+          | None -> Ok tbl)
+      | Some _ -> Error "\"findings\" is not an object"
+      | None -> Error "missing \"findings\" object")
+
+let to_string findings =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Lint.finding) ->
+      let k = key f in
+      Hashtbl.replace counts k
+        (1 + match Hashtbl.find_opt counts k with Some n -> n | None -> 0))
+    findings;
+  let keys = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) counts []) in
+  let entries =
+    List.map
+      (fun k ->
+        Printf.sprintf "    \"%s\": %d" (Json.escape k)
+          (match Hashtbl.find_opt counts k with Some n -> n | None -> 0))
+      keys
+  in
+  "{\n  \"version\": 1,\n  \"findings\": {\n" ^ String.concat ",\n" entries ^ "\n  }\n}\n"
+
+(* Keep each finding only past its baselined allowance; occurrences are
+   counted in report order, so when a count grows it is the later (newest)
+   sites that surface. *)
+let apply (base : t) findings =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (f : Lint.finding) ->
+      let k = key f in
+      let n = 1 + match Hashtbl.find_opt seen k with Some n -> n | None -> 0 in
+      Hashtbl.replace seen k n;
+      let allowed = match Hashtbl.find_opt base k with Some a -> a | None -> 0 in
+      n > allowed)
+    findings

@@ -1,7 +1,11 @@
-(* Engine for scion-lint: repo-specific static analysis over the OCaml
-   parsetree. Rules live in Lint_rules; this module owns parsing, the
-   suppression-comment scanner, the result-type registry, file collection,
-   finding aggregation and the text/JSON reporters. *)
+(* Engine core for scion-lint: repo-specific static analysis over the OCaml
+   parsetree. Single-file rules live in Lint_rules and run over one AST at a
+   time; the whole-program passes live in Ipa and run over linked Summary
+   data. This module owns the pieces both share: parsing (counted, so tests
+   can assert each file is parsed exactly once), the directive-comment
+   scanner (suppressions plus the hotpath / rng-stream annotations), the
+   result-type registry, file collection, the finding type and the
+   text/JSON reporters. Driver glues everything into one two-phase run. *)
 
 type severity = Error | Warn
 
@@ -14,7 +18,14 @@ type finding = {
   rule : string;
   severity : severity;
   message : string;
+  pass : string;  (* "file" for per-file rules, "link" for interprocedural passes *)
+  symbol : string;  (* enclosing definition, for link findings; "" otherwise *)
+  chain : string list;  (* call chain from a hotpath seed to the site, outermost first *)
+  detail : string;  (* stable sub-kind (e.g. the allocation kind); part of the baseline key *)
 }
+
+let finding ~file ~line ~col ~rule ~severity message =
+  { file; line; col; rule; severity; message; pass = "file"; symbol = ""; chain = []; detail = "" }
 
 (* ------------------------------------------------------------------ *)
 (* Registry of values whose declared return type is [result], built from
@@ -83,24 +94,39 @@ let registry_mem (reg : registry) lid =
   try_suffix (flatten_longident lid)
 
 (* ------------------------------------------------------------------ *)
-(* Suppression comments.
+(* Directive comments.
 
-   (* scion-lint: allow lint-directive -- the next line spells out the syntax and is not a real directive *)
-   Syntax: [(* scion-lint: allow <rule>[, <rule>...] [-- justification] *)]
-   A directive on line N silences matching findings on lines N and N+1, so
-   it can sit either at the end of the offending line or alone on the line
-   above it. [allow all] silences every rule. Malformed directives and
-   unknown rule ids are themselves reported (rule [lint-directive]) so a
-   typo cannot silently disable checking. *)
+   Syntax (each written inside its own comment opening with the marker;
+   spelled without the comment opener here so the scanner does not read
+   this documentation as directives):
+
+     scion-lint: allow <rule>[, <rule>...] [-- justification]
+     scion-lint: hotpath [-- why]
+     scion-lint: rng-stream <name> [-- why]
+
+   A directive on line N applies to lines N and N+1, so it can sit either
+   at the end of the line it describes or alone on the line above it.
+   [allow] silences matching findings ([allow all] silences every rule);
+   [hotpath] seeds the hotpath-allocation pass at the next definition;
+   [rng-stream <name>] documents which labelled stream an interface value
+   carries, satisfying the rng-stream-provenance escape check. Malformed
+   directives and unknown rule ids are themselves reported (rule
+   [lint-directive]) so a typo cannot silently disable checking. *)
 
 (* Built by concatenation so the linter does not flag this very string
    literal as a directive when linting its own source. *)
 let directive_marker = "scion-lint" ^ ":"
 
-type suppressions = {
-  by_line : (int, string list) Hashtbl.t;
+type directives = {
+  by_line : (int, string list) Hashtbl.t;  (* allow directives *)
+  hotpath_lines : (int, unit) Hashtbl.t;
+  stream_lines : (int, string) Hashtbl.t;  (* rng-stream annotations *)
   mutable directive_errors : (int * string) list;
 }
+
+let no_directives () =
+  { by_line = Hashtbl.create 1; hotpath_lines = Hashtbl.create 1;
+    stream_lines = Hashtbl.create 1; directive_errors = [] }
 
 let find_substring hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -109,8 +135,12 @@ let find_substring hay needle =
 
 let cut_before s sep = match find_substring s sep with None -> s | Some i -> String.sub s 0 i
 
+(* The whole-program passes run by Driver; their ids are valid in [allow]
+   lists everywhere, and Ipa emits findings under them. *)
+let pass_rule_ids = [ "rng-stream-provenance"; "hotpath-allocation"; "telemetry-registry" ]
+
 (* Findings the engine itself can produce, also valid in [allow] lists. *)
-let builtin_rule_ids = [ "lint-directive"; "parse" ]
+let builtin_rule_ids = [ "lint-directive"; "parse" ] @ pass_rule_ids
 
 (* A directive must open its comment: only whitespace may sit between the
    "(*" and the marker. This keeps prose comments and string literals that
@@ -126,9 +156,9 @@ let opens_comment line at =
   in
   back (at - 1)
 
-let scan_suppressions ~known_rules src =
+let scan_directives ~known_rules src =
   let known_rules = known_rules @ builtin_rule_ids in
-  let supp = { by_line = Hashtbl.create 8; directive_errors = [] } in
+  let supp = no_directives () in
   let lines = String.split_on_char '\n' src in
   List.iteri
     (fun i line ->
@@ -151,10 +181,18 @@ let scan_suppressions ~known_rules src =
                      (String.concat ", " bad) (String.concat ", " known_rules))
                   :: supp.directive_errors
               else Hashtbl.replace supp.by_line lineno rules
+          | [ "hotpath" ] -> Hashtbl.replace supp.hotpath_lines lineno ()
+          | [ "rng-stream"; name ] -> Hashtbl.replace supp.stream_lines lineno name
+          | "rng-stream" :: _ ->
+              supp.directive_errors <-
+                (lineno, "malformed rng-stream annotation; expected (* " ^ directive_marker
+                         ^ " rng-stream <name> [-- why] *)")
+                :: supp.directive_errors
           | _ ->
               supp.directive_errors <-
                 (lineno, "malformed directive; expected (* " ^ directive_marker
-                         ^ " allow <rule>[, <rule>] [-- justification] *)")
+                         ^ " allow <rule>[, <rule>] [-- justification] *), (* " ^ directive_marker
+                         ^ " hotpath *) or (* " ^ directive_marker ^ " rng-stream <name> *)")
                 :: supp.directive_errors)
       | _ -> ())
     lines;
@@ -167,6 +205,17 @@ let suppressed supp ~line ~rule =
     | Some rules -> List.mem "all" rules || List.mem rule rules
   in
   covers line || covers (line - 1)
+
+(* Annotations cover the line they sit on and the next, mirroring [allow]:
+   the directive goes at the end of the definition's first line or alone on
+   the line above it. *)
+let hotpath_annotated supp ~line =
+  Hashtbl.mem supp.hotpath_lines line || Hashtbl.mem supp.hotpath_lines (line - 1)
+
+let stream_annotation supp ~line =
+  match Hashtbl.find_opt supp.stream_lines line with
+  | Some n -> Some n
+  | None -> Hashtbl.find_opt supp.stream_lines (line - 1)
 
 (* ------------------------------------------------------------------ *)
 (* Rules. *)
@@ -189,11 +238,20 @@ let no_hooks = { id = ""; doc = ""; severity = Error; scope = (fun _ -> true);
                  on_expr = None; on_value_binding = None; on_tree = None }
 
 (* ------------------------------------------------------------------ *)
-(* Parsing. *)
+(* Parsing. Every parse is counted per file so the test suite can assert
+   the two-phase driver parses each file exactly once, shared across every
+   rule and pass. *)
 
 type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
 
+let parse_counts : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let reset_parse_counts () = Hashtbl.reset parse_counts
+
+let parse_count file = match Hashtbl.find_opt parse_counts file with Some n -> n | None -> 0
+
 let parse_ast ~file src =
+  Hashtbl.replace parse_counts file (parse_count file + 1);
   let lexbuf = Lexing.from_string src in
   Lexing.set_filename lexbuf file;
   Location.input_name := file;
@@ -208,23 +266,26 @@ let parse_ast ~file src =
     | _ -> Error (1, Printexc.to_string exn))
 
 (* ------------------------------------------------------------------ *)
-(* Per-file engine. *)
+(* Per-file engine. [lint_source] parses internally when no pre-parsed
+   [ast] is supplied (unit tests); Driver always supplies one so the tree
+   run parses each file exactly once. *)
 
 let loc_line (loc : Location.t) = loc.loc_start.pos_lnum
 let loc_col (loc : Location.t) = loc.loc_start.pos_cnum - loc.loc_start.pos_bol
 
-let lint_source ?(registry = empty_registry) ~rules ~file src =
+let lint_source ?(registry = empty_registry) ?ast ~rules ~file src =
   let findings = ref [] in
-  let supp = scan_suppressions ~known_rules:(List.map (fun r -> r.id) rules) src in
+  let supp = scan_directives ~known_rules:(List.map (fun r -> r.id) rules) src in
   let add ~line ~col ~rule:id ~severity message =
     if not (suppressed supp ~line ~rule:id) then
-      findings := { file; line; col; rule = id; severity; message } :: !findings
+      findings := finding ~file ~line ~col ~rule:id ~severity message :: !findings
   in
   List.iter
     (fun (line, msg) -> add ~line ~col:0 ~rule:"lint-directive" ~severity:Error msg)
     supp.directive_errors;
   let active = List.filter (fun r -> r.scope file) rules in
-  (match parse_ast ~file src with
+  let parsed = match ast with Some a -> a | None -> parse_ast ~file src in
+  (match parsed with
   | Error (line, msg) -> add ~line ~col:0 ~rule:"parse" ~severity:Error ("syntax error: " ^ msg)
   | Ok ast ->
       let ctx = { file; registry } in
@@ -286,17 +347,16 @@ let collect_files ~root dirs =
     dirs;
   List.sort String.compare !acc
 
-let build_registry sources =
+let build_registry parsed =
   let reg : registry = Hashtbl.create 64 in
   List.iter
-    (fun (file, src) ->
-      if Filename.check_suffix file ".mli" then
-        match parse_ast ~file src with
-        | Ok (Intf sg) ->
-            let modname = String.capitalize_ascii (Filename.remove_extension (Filename.basename file)) in
-            scan_signature reg [ modname ] sg
-        | _ -> ())
-    sources;
+    (fun (file, ast) ->
+      match ast with
+      | Ok (Intf sg) ->
+          let modname = String.capitalize_ascii (Filename.remove_extension (Filename.basename file)) in
+          scan_signature reg [ modname ] sg
+      | _ -> ())
+    parsed;
   reg
 
 let compare_findings (a : finding) (b : finding) =
@@ -309,38 +369,17 @@ let compare_findings (a : finding) (b : finding) =
       let c = compare a.col b.col in
       if c <> 0 then c else String.compare a.rule b.rule
 
-let lint_tree ~rules ~root ~dirs =
-  let files = collect_files ~root dirs in
-  let sources = List.map (fun f -> (f, read_file (Filename.concat root f))) files in
-  let registry = build_registry sources in
-  let findings = ref [] in
-  List.iter
-    (fun (file, src) -> findings := lint_source ~registry ~rules ~file src @ !findings)
-    sources;
-  (* Tree-level rules (e.g. interface coverage), with suppression honoured
-     against the source of the file each finding lands in. *)
-  let known = List.map (fun r -> r.id) rules in
-  List.iter
-    (fun r ->
-      match r.on_tree with
-      | None -> ()
-      | Some h ->
-          h ~files (fun ~file ~line msg ->
-              let supp =
-                match List.assoc_opt file sources with
-                | Some src -> scan_suppressions ~known_rules:known src
-                | None -> { by_line = Hashtbl.create 1; directive_errors = [] }
-              in
-              if not (suppressed supp ~line ~rule:r.id) then
-                findings := { file; line; col = 0; rule = r.id; severity = r.severity; message = msg } :: !findings))
-    rules;
-  List.sort compare_findings !findings
-
 (* ------------------------------------------------------------------ *)
 (* Reporters. *)
 
 let to_text (f : finding) =
-  Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col (severity_to_string f.severity) f.rule f.message
+  let chain =
+    match f.chain with
+    | [] -> ""
+    | c -> Printf.sprintf " [via %s]" (String.concat " -> " c)
+  in
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s%s" f.file f.line f.col (severity_to_string f.severity)
+    f.rule f.message chain
 
 let report_text findings = String.concat "" (List.map (fun f -> to_text f ^ "\n") findings)
 
@@ -360,9 +399,20 @@ let json_escape s =
   Buffer.contents buf
 
 let finding_to_json (f : finding) =
-  Printf.sprintf {|{"file":"%s","line":%d,"col":%d,"rule":"%s","severity":"%s","message":"%s"}|}
-    (json_escape f.file) f.line f.col (json_escape f.rule) (severity_to_string f.severity)
-    (json_escape f.message)
+  let base =
+    Printf.sprintf {|"file":"%s","line":%d,"col":%d,"rule":"%s","pass":"%s","severity":"%s","message":"%s"|}
+      (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.pass)
+      (severity_to_string f.severity) (json_escape f.message)
+  in
+  let opt key v = if v = "" then "" else Printf.sprintf {|,"%s":"%s"|} key (json_escape v) in
+  let chain =
+    match f.chain with
+    | [] -> ""
+    | c ->
+        Printf.sprintf {|,"chain":[%s]|}
+          (String.concat "," (List.map (fun s -> "\"" ^ json_escape s ^ "\"") c))
+  in
+  "{" ^ base ^ opt "symbol" f.symbol ^ opt "kind" f.detail ^ chain ^ "}"
 
 let report_json findings =
   "[" ^ String.concat ",\n " (List.map finding_to_json findings) ^ "]\n"

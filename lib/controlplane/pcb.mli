@@ -33,6 +33,7 @@ type t = {
   entries : as_entry list;  (** Construction order: origin core AS first. *)
 }
 
+(* scion-lint: rng-stream beacon -- origination draws only the seg_id; the mesh threads its beacon stream *)
 val originate :
   rng:Scion_util.Rng.t -> now:float -> t
 (** Fresh PCB with a random [seg_id] and no entries. *)

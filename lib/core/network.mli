@@ -34,6 +34,7 @@ val apply_fault : t -> Fault.Scenario.op -> unit
     drops the memoised path cache; [Control_*] ops are bookkept by the
     injector, not the fabric. *)
 
+(* scion-lint: rng-stream fault -- elaboration of the scenario draws from the injector's fault stream *)
 val inject :
   t ->
   engine:Netsim.Engine.t ->
@@ -62,6 +63,7 @@ val scion_rtt_sample : t -> Combinator.fullpath -> [ `Rtt of float | `Lost ]
 val scion_rtt_base : t -> Combinator.fullpath -> float
 (** Deterministic RTT (2x one-way base+extra latency), for path ranking. *)
 
+(* scion-lint: rng-stream caller -- all jitter/loss draws come from the probe's own stream, never the fabric's *)
 val scmp_probe :
   t -> rng:Scion_util.Rng.t -> Combinator.fullpath -> [ `Rtt of float | `Lost ]
 (** One full SCMP echo over the path: the request is walked hop by hop
@@ -81,6 +83,7 @@ val ip_rtt_base : t -> src:Ia.t -> dst:Ia.t -> float option
 val scion_fabric : t -> Netsim.Net.t
 (** The underlying SCION link model (for failure experiments). *)
 
+(* scion-lint: rng-stream fabric -- accessor for the fabric's own stream (workload side) *)
 val rng : t -> Scion_util.Rng.t
 val rebeacon_count : t -> int
 (** How many control-plane convergences have run (observability). *)

@@ -36,6 +36,7 @@ module Filter = struct
   let authenticate ~key ~payload =
     Scion_crypto.Cmac.mac_truncated (Scion_crypto.Cmac.of_string key) payload 16
 
+  (* scion-lint: hotpath -- per-packet LightningFilter admission check *)
   let check t ~now ~src ~payload ~tag =
     match Hashtbl.find_opt t.allowed src with
     | None ->

@@ -14,6 +14,7 @@
 type private_key
 type public_key
 
+(* scion-lint: rng-stream keygen -- key generation draws from the caller's keygen stream, never a shared one *)
 val generate : Scion_util.Rng.t -> private_key * public_key
 (** Draw a fresh key pair from the deterministic RNG. *)
 

@@ -144,6 +144,7 @@ type verdict =
 
 (* Verify the current hop field and fold/unfold the segment identifier.
    Returns an error reason, or unit on success. *)
+(* scion-lint: hotpath -- per-packet hop-MAC verification; the ROADMAP allocation-free fast path lands against this ratchet *)
 let verify_current t ~now path =
   let info = Path.current_info path in
   let hop = Path.current_hop path in
@@ -219,6 +220,7 @@ let scmp_answer t = function
   | Not_for_us -> Some Scmp.Destination_unreachable
   | Ingress_mismatch _ | Path_malformed _ -> None
 
+(* scion-lint: hotpath -- the per-packet forwarding entry point *)
 let process t ~now ~ingress pkt =
   (match t.obs with
   | Some o when ingress <> 0 -> obs_inc o.o_rx ingress

@@ -52,6 +52,7 @@ type error =
 
 val error_to_string : error -> string
 
+(* scion-lint: rng-stream bootstrap -- every discovery-latency draw comes from the bootstrap stream *)
 val run :
   rng:Scion_util.Rng.t ->
   os:os ->
@@ -75,6 +76,7 @@ val transient_error : error -> bool
     [Server_unreachable] are transient; signature and TRC-chain failures
     are permanent (retrying cannot make forged material verify). *)
 
+(* scion-lint: rng-stream bootstrap -- retries reuse the same bootstrap stream as [run] *)
 val run_with_retry :
   rng:Scion_util.Rng.t ->
   os:os ->
@@ -94,7 +96,9 @@ val run_with_retry :
     accumulated backoff wait is folded into [timing.total_ms] — recovery
     time is visible in the bootstrap timing, nothing sleeps. *)
 
+(* scion-lint: rng-stream bootstrap -- the latency model draws from the bootstrap stream *)
 val hint_latency_ms : rng:Scion_util.Rng.t -> os:os -> Hints.mechanism -> float
 (** The latency model itself, exposed for the Figure 4 experiment. *)
 
+(* scion-lint: rng-stream bootstrap -- the latency model draws from the bootstrap stream *)
 val config_latency_ms : rng:Scion_util.Rng.t -> os:os -> float

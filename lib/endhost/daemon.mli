@@ -9,6 +9,7 @@ type t
 type fetch = dst:Scion_addr.Ia.t -> Scion_controlplane.Combinator.fullpath list
 (** Backend query to the AS control service / path servers. *)
 
+(* scion-lint: rng-stream daemon -- cache-expiry jitter draws from the daemon's own stream *)
 val create :
   ia:Scion_addr.Ia.t ->
   fetch:fetch ->

@@ -61,6 +61,7 @@ module Conn : sig
 
   type t
 
+  (* scion-lint: rng-stream sender -- reprobe jitter draws from the connection's sender stream *)
   val dial :
     ?metrics:Telemetry.Metrics.registry ->
     ?peer:string ->

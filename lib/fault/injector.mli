@@ -11,6 +11,7 @@
 
 type t
 
+(* scion-lint: rng-stream fault -- scenario elaboration draws only from the dedicated fault stream *)
 val attach :
   engine:Netsim.Engine.t ->
   rng:Scion_util.Rng.t ->
@@ -22,6 +23,7 @@ val attach :
     current time are rejected with [Invalid_argument] (a scenario is
     attached at or before its first op, never mid-flight). *)
 
+(* scion-lint: rng-stream fault -- scenario elaboration draws only from the dedicated fault stream *)
 val attach_net :
   engine:Netsim.Engine.t ->
   rng:Scion_util.Rng.t ->

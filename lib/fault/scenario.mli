@@ -36,6 +36,7 @@ type event = { at_s : float; op : op }
 type t
 (** A scenario (composable, not yet elaborated). *)
 
+(* scion-lint: rng-stream fault -- all scenario draws come from the injector's fault stream *)
 val elaborate : t -> rng:Scion_util.Rng.t -> event list
 (** Expand into concrete events, sorted by time (ties keep combinator
     order). All random draws come from [rng]. *)

@@ -18,6 +18,7 @@ type t
 type node = int
 type link_id = int
 
+(* scion-lint: rng-stream fabric -- the fabric owns this stream; observers must use the _with variants *)
 val create : rng:Scion_util.Rng.t -> t
 
 val add_node : t -> string -> node
@@ -66,6 +67,7 @@ val extra_loss : t -> link_id -> float
 val sample_one_way : t -> link_id -> [ `Delivered of float | `Lost ]
 (** One traversal: [`Delivered ms] or [`Lost]. Down links always lose. *)
 
+(* scion-lint: rng-stream caller -- draws come from the observer's private stream, never the fabric's *)
 val sample_one_way_with :
   t -> rng:Scion_util.Rng.t -> link_id -> [ `Delivered of float | `Lost ]
 (** {!sample_one_way}, but the loss and jitter draws come from the caller's
@@ -77,6 +79,7 @@ val path_rtt : t -> link_id list -> [ `Rtt of float | `Lost ]
 (** Round trip over the link sequence (forward then back, independent
     samples). Any lost traversal loses the ping. *)
 
+(* scion-lint: rng-stream caller -- draws come from the observer's private stream, never the fabric's *)
 val path_rtt_with :
   t -> rng:Scion_util.Rng.t -> link_id list -> [ `Rtt of float | `Lost ]
 (** {!path_rtt} drawing every sample from the caller's [rng] — the

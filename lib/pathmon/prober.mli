@@ -18,6 +18,7 @@
 
 type t
 
+(* scion-lint: rng-stream pathmon.probe -- the prober's private stream; isolation is pinned by test_golden *)
 val create :
   ?metrics:Telemetry.Metrics.registry ->
   ?labels:Telemetry.Metrics.labels ->

@@ -4,8 +4,12 @@
 
 module Lint = Scion_lint_lib.Lint
 module Lint_rules = Scion_lint_lib.Lint_rules
+module Driver = Scion_lint_lib.Driver
+module Baseline = Scion_lint_lib.Baseline
 
 let rules = Lint_rules.rules
+
+let lint_tree ?baseline_file ~root ~dirs () = Driver.lint_tree ?baseline_file ~rules ~root ~dirs ()
 
 let lint ?registry ?(file = "lib/netsim/fixture.ml") src =
   Lint.lint_source ?registry ~rules ~file src
@@ -105,7 +109,7 @@ let test_missing_mli () =
     [ ("lib/x/covered.ml", "let x = 1"); ("lib/x/covered.mli", "val x : int");
       ("lib/x/naked.ml", "let y = 2"); ("bin/tool.ml", "let () = ()") ]
     (fun root ->
-      let findings = Lint.lint_tree ~rules ~root ~dirs:[ "lib"; "bin" ] in
+      let findings = lint_tree ~root ~dirs:[ "lib"; "bin" ] () in
       let pairs = tree_rule_ids findings in
       Alcotest.(check bool) "naked.ml flagged" true (List.mem ("lib/x/naked.ml", "missing-mli") pairs);
       Alcotest.(check bool) "covered.ml clean" false (List.mem ("lib/x/covered.ml", "missing-mli") pairs);
@@ -122,7 +126,7 @@ let test_ignored_result () =
       ("lib/x/user.ml", "let f () = ignore (Codec.decode \"y\")\nlet g () = let _ = Codec.decode \"z\" in ()\n");
       ("lib/x/user.mli", "val f : unit -> unit\nval g : unit -> unit\n") ]
     (fun root ->
-      let findings = Lint.lint_tree ~rules ~root ~dirs:[ "lib" ] in
+      let findings = lint_tree ~root ~dirs:[ "lib" ] () in
       let hits = List.filter (fun (f : Lint.finding) -> f.Lint.rule = "ignored-result") findings in
       Alcotest.(check bool) "qualified ignore flagged" true
         (List.exists (fun (f : Lint.finding) -> f.Lint.file = "lib/x/user.ml" && f.Lint.line = 1) hits);
@@ -237,7 +241,219 @@ let test_json_reporter () =
     (fun needle ->
       Alcotest.(check bool) (Printf.sprintf "json has %s" needle) true (contains json needle))
     [ {|"file":"lib/netsim/fixture.ml"|}; {|"line":1|}; {|"rule":"totality"|};
-      {|"severity":"error"|}; {|"message":"|} ]
+      {|"severity":"error"|}; {|"message":"|}; {|"pass":"file"|} ]
+
+(* --- Interprocedural passes --------------------------------------------- *)
+
+(* Directive fixtures are assembled by concatenation, like [allow] above. *)
+let hotpath_directive = Printf.sprintf "(* scion-lint%s hotpath *)" ":"
+let stream_directive name = Printf.sprintf "(* scion-lint%s rng-stream %s *)" ":" name
+
+let pass_findings findings =
+  List.filter (fun (f : Lint.finding) -> List.mem f.Lint.rule Lint.pass_rule_ids) findings
+
+let pass_ids findings = List.map (fun (f : Lint.finding) -> f.Lint.rule) (pass_findings findings)
+
+let test_rng_duplicate_label () =
+  (* The same label constructed in two different lib subsystems. *)
+  with_temp_tree
+    [ ("lib/a/one.ml", "let r seed = Scion_util.Rng.of_label seed \"shared.stream\"\n");
+      ("lib/b/two.ml", "let r seed = Scion_util.Rng.of_label seed \"shared.stream\"\n") ]
+    (fun root ->
+      let hits = pass_findings (lint_tree ~root ~dirs:[ "lib" ] ()) in
+      Alcotest.(check int) "both sites flagged" 2 (List.length hits);
+      List.iter
+        (fun (f : Lint.finding) ->
+          Alcotest.(check string) "rule" "rng-stream-provenance" f.Lint.rule)
+        hits);
+  (* Same label twice within one subsystem is that subsystem's business. *)
+  with_temp_tree
+    [ ("lib/a/one.ml", "let r seed = Scion_util.Rng.of_label seed \"shared.stream\"\n");
+      ("lib/a/two.ml", "let r seed = Scion_util.Rng.of_label seed \"shared.stream\"\n") ]
+    (fun root ->
+      Alcotest.(check (list string)) "same subsystem clean" []
+        (pass_ids (lint_tree ~root ~dirs:[ "lib" ] ())))
+
+let test_rng_interface_escape () =
+  with_temp_tree
+    [ ("lib/a/api.ml", "let sample rng = Scion_util.Rng.float rng 1.0\n");
+      ("lib/a/api.mli", "val sample : Scion_util.Rng.t -> float\n") ]
+    (fun root ->
+      let hits = pass_findings (lint_tree ~root ~dirs:[ "lib" ] ()) in
+      Alcotest.(check (list string)) "unannotated escape flagged" [ "rng-stream-provenance" ]
+        (List.map (fun (f : Lint.finding) -> f.Lint.rule) hits);
+      Alcotest.(check string) "names the val" "sample" (List.hd hits).Lint.symbol);
+  with_temp_tree
+    [ ("lib/a/api.ml", "let sample rng = Scion_util.Rng.float rng 1.0\n");
+      ( "lib/a/api.mli",
+        stream_directive "caller" ^ "\nval sample : Scion_util.Rng.t -> float\n" ) ]
+    (fun root ->
+      Alcotest.(check (list string)) "annotated escape clean" []
+        (pass_ids (lint_tree ~root ~dirs:[ "lib" ] ())))
+
+let test_rng_stream_race () =
+  (* [jitter] draws from a stream it neither received nor created, and is
+     reachable both from the workload hand-off (sender -> step) and from the
+     fault hand-off (fault -> inject): the determinism race. *)
+  let core_race =
+    "let shared = Scion_util.Rng.of_label 1L \"boot\"\n\
+     let jitter () = Scion_util.Rng.float shared 1.0\n\
+     let step rng = ignore (Scion_util.Rng.float rng 1.0); jitter ()\n\
+     let inject rng = ignore (Scion_util.Rng.int rng 3); jitter ()\n"
+  in
+  let exp_both =
+    "let run seed =\n\
+    \  let wl = Scion_util.Rng.of_label seed \"sender\" in\n\
+    \  let fr = Scion_util.Rng.of_label seed \"fault\" in\n\
+    \  Core.step wl;\n\
+    \  Core.inject fr\n"
+  in
+  with_temp_tree
+    [ ("lib/a/core.ml", core_race); ("lib/b/exp.ml", exp_both) ]
+    (fun root ->
+      let hits = pass_findings (lint_tree ~root ~dirs:[ "lib" ] ()) in
+      Alcotest.(check (list string)) "race flagged" [ "rng-stream-provenance" ]
+        (List.map (fun (f : Lint.finding) -> f.Lint.rule) hits);
+      let f = List.hd hits in
+      Alcotest.(check string) "at the captured draw" "lib/a/core.ml" f.Lint.file;
+      Alcotest.(check string) "names the sink" "Core.jitter" f.Lint.symbol);
+  (* Only the workload side reaches the sink: no race. *)
+  let exp_workload_only =
+    "let run seed =\n\
+    \  let wl = Scion_util.Rng.of_label seed \"sender\" in\n\
+    \  let fr = Scion_util.Rng.of_label seed \"fault\" in\n\
+    \  ignore (Scion_util.Rng.int fr 3);\n\
+    \  Core.step wl\n"
+  in
+  with_temp_tree
+    [ ("lib/a/core.ml", core_race); ("lib/b/exp.ml", exp_workload_only) ]
+    (fun root ->
+      Alcotest.(check (list string)) "one-sided reach clean" []
+        (pass_ids (lint_tree ~root ~dirs:[ "lib" ] ())))
+
+let hotpath_fixture helper2_body =
+  [ ( "lib/x/fast.ml",
+      Printf.sprintf
+        "let helper2 x = %s\nlet helper x = helper2 x\n%s\nlet entry x = helper x\n" helper2_body
+        hotpath_directive ) ]
+
+let test_hotpath_allocation () =
+  (* A tuple allocation two call hops below the annotated seed. *)
+  with_temp_tree (hotpath_fixture "(x, x)") (fun root ->
+      let hits = pass_findings (lint_tree ~root ~dirs:[ "lib" ] ()) in
+      Alcotest.(check (list string)) "allocation flagged" [ "hotpath-allocation" ]
+        (List.map (fun (f : Lint.finding) -> f.Lint.rule) hits);
+      let f = List.hd hits in
+      Alcotest.(check string) "in the transitive callee" "Fast.helper2" f.Lint.symbol;
+      Alcotest.(check (list string)) "carries the call chain"
+        [ "Fast.entry"; "Fast.helper"; "Fast.helper2" ]
+        f.Lint.chain;
+      Alcotest.(check string) "carries the allocation kind" "tuple" f.Lint.detail);
+  (* Without the seed annotation the same tree is silent. *)
+  with_temp_tree
+    [ ("lib/x/fast.ml", "let helper2 x = (x, x)\nlet helper x = helper2 x\nlet entry x = helper x\n") ]
+    (fun root ->
+      Alcotest.(check (list string)) "no seed, no findings" []
+        (pass_ids (lint_tree ~root ~dirs:[ "lib" ] ())))
+
+let test_telemetry_names () =
+  (* The same series name registered from two different modules. *)
+  with_temp_tree
+    [ ("lib/a/m1.ml", "let c reg = Telemetry.Metrics.counter reg \"dup.series\"\n");
+      ("lib/b/m2.ml", "let c reg = Telemetry.Metrics.counter reg \"dup.series\"\n") ]
+    (fun root ->
+      let hits = pass_findings (lint_tree ~root ~dirs:[ "lib" ] ()) in
+      Alcotest.(check (list string)) "both registrations flagged"
+        [ "telemetry-registry"; "telemetry-registry" ]
+        (List.map (fun (f : Lint.finding) -> f.Lint.rule) hits));
+  (* A computed name in lib/ defeats static checking. *)
+  with_temp_tree
+    [ ("lib/a/m1.ml", "let g reg id = Telemetry.Metrics.gauge reg (Printf.sprintf \"x.%s\" id)\n") ]
+    (fun root ->
+      let hits = pass_findings (lint_tree ~root ~dirs:[ "lib" ] ()) in
+      Alcotest.(check (list string)) "dynamic name flagged" [ "telemetry-registry" ]
+        (List.map (fun (f : Lint.finding) -> f.Lint.rule) hits));
+  (* Distinct literal names, no registry file: clean. *)
+  with_temp_tree
+    [ ("lib/a/m1.ml", "let c reg = Telemetry.Metrics.counter reg \"a.series\"\n");
+      ("lib/b/m2.ml", "let c reg = Telemetry.Metrics.counter reg \"b.series\"\n") ]
+    (fun root ->
+      Alcotest.(check (list string)) "distinct names clean" []
+        (pass_ids (lint_tree ~root ~dirs:[ "lib" ] ())))
+
+let test_telemetry_registry_file () =
+  (* Registry declares a stale series and misses a live one: both directions
+     must fail, and the agreeing pair stays silent. *)
+  with_temp_tree
+    [ ("lib/a/m1.ml",
+       "let a reg = Telemetry.Metrics.counter reg \"a.series\"\n\
+        let b reg = Telemetry.Metrics.counter reg \"b.series\"\n");
+      ("devtools/lint/telemetry.registry", "# registry\na.series\nzombie.series\n") ]
+    (fun root ->
+      let hits = pass_findings (lint_tree ~root ~dirs:[ "lib" ] ()) in
+      let details = List.sort String.compare (List.map (fun (f : Lint.finding) -> f.Lint.detail) hits) in
+      Alcotest.(check (list string)) "rename fails both ways" [ "stale-entry"; "unregistered" ]
+        details;
+      Alcotest.(check bool) "stale entry anchored in the registry file" true
+        (List.exists
+           (fun (f : Lint.finding) -> f.Lint.file = "devtools/lint/telemetry.registry")
+           hits))
+
+let test_json_link_fields () =
+  (* Link findings carry the pass, enclosing symbol, allocation kind and
+     call chain in the JSON report. *)
+  with_temp_tree (hotpath_fixture "(x, x)") (fun root ->
+      let json = Lint.report_json (pass_findings (lint_tree ~root ~dirs:[ "lib" ] ())) in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Printf.sprintf "json has %s" needle) true (contains json needle))
+        [ {|"pass":"link"|}; {|"rule":"hotpath-allocation"|}; {|"symbol":"Fast.helper2"|};
+          {|"kind":"tuple"|}; {|"chain":["Fast.entry","Fast.helper","Fast.helper2"]|} ])
+
+(* --- Baseline ratchet ---------------------------------------------------- *)
+
+let with_baseline_of findings k =
+  let path = Filename.temp_file "scion_lint_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Baseline.to_string findings));
+      k path)
+
+let test_baseline_ratchet () =
+  with_temp_tree (hotpath_fixture "(x, x)") (fun root ->
+      let before = lint_tree ~root ~dirs:[ "lib" ] () in
+      Alcotest.(check bool) "tree has findings to baseline" true (before <> []);
+      with_baseline_of before (fun baseline_file ->
+          (* Same tree under its own baseline: fully forgiven. *)
+          Alcotest.(check (list string)) "old findings accepted" []
+            (List.map Lint.to_text (lint_tree ~baseline_file ~root ~dirs:[ "lib" ] ()));
+          (* One extra allocation of an already-baselined kind in the same
+             function: only the new occurrence fails. *)
+          with_temp_tree (hotpath_fixture "((x, x), x)") (fun root2 ->
+              let after = lint_tree ~baseline_file ~root:root2 ~dirs:[ "lib" ] () in
+              Alcotest.(check (list string)) "new finding rejected" [ "hotpath-allocation" ]
+                (List.map (fun (f : Lint.finding) -> f.Lint.rule) after))))
+
+(* --- Phase 1 parses each file exactly once ------------------------------- *)
+
+let test_parse_once () =
+  with_temp_tree
+    [ ("lib/x/a.ml", "let v = 1\n"); ("lib/x/a.mli", "val v : int\n");
+      ("lib/x/b.ml", "let w = A.v + 1\n"); ("bin/tool.ml", "let () = ()\n") ]
+    (fun root ->
+      Lint.reset_parse_counts ();
+      let { Driver.an_files = files; _ } =
+        Driver.analyze ~rules ~root ~dirs:[ "lib"; "bin" ] ()
+      in
+      Alcotest.(check int) "all files visited" 4 (List.length files);
+      List.iter
+        (fun file ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s parsed exactly once" file)
+            1 (Lint.parse_count file))
+        files)
 
 (* --- The repo itself must be lint-clean --------------------------------- *)
 
@@ -251,7 +467,19 @@ let test_repo_clean () =
       [ "lib"; "bin"; "bench"; "examples"; "devtools" ]
   in
   Alcotest.(check bool) "source tree present" true (List.mem "lib" dirs);
-  let findings = Lint.lint_tree ~rules ~root ~dirs in
+  (* Without the ratchet, the interprocedural passes must fire on the real
+     tree: the checked-in baseline records the hot path's current
+     allocations, so its findings are present and are all hotpath ones. *)
+  let raw = lint_tree ~root ~dirs () in
+  let raw_pass = pass_findings raw in
+  Alcotest.(check bool) "hotpath pass fires on the real tree" true
+    (List.exists (fun (f : Lint.finding) -> f.Lint.rule = "hotpath-allocation") raw_pass);
+  Alcotest.(check (list string)) "only baselined hotpath findings remain pre-ratchet" []
+    (List.map Lint.to_text
+       (List.filter (fun (f : Lint.finding) -> f.Lint.rule <> "hotpath-allocation") raw_pass));
+  (* With the checked-in baseline — exactly what `dune build @lint` runs —
+     the tree is clean. *)
+  let findings = lint_tree ~baseline_file:"../devtools/lint/baseline.json" ~root ~dirs () in
   let errors = List.filter (fun (f : Lint.finding) -> f.Lint.severity = Lint.Error) findings in
   Alcotest.(check (list string)) "repo is lint-clean"
     [] (List.map Lint.to_text errors)
@@ -278,6 +506,20 @@ let () =
           Alcotest.test_case "bad directives" `Quick test_bad_directive;
           Alcotest.test_case "severity + parse errors" `Quick test_severity_and_parse_error;
           Alcotest.test_case "json reporter" `Quick test_json_reporter;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "rng: duplicate label across subsystems" `Quick
+            test_rng_duplicate_label;
+          Alcotest.test_case "rng: interface escape annotation" `Quick test_rng_interface_escape;
+          Alcotest.test_case "rng: workload/fault stream race" `Quick test_rng_stream_race;
+          Alcotest.test_case "hotpath: allocation two hops down" `Quick test_hotpath_allocation;
+          Alcotest.test_case "telemetry: duplicate and dynamic names" `Quick test_telemetry_names;
+          Alcotest.test_case "telemetry: registry file bijection" `Quick
+            test_telemetry_registry_file;
+          Alcotest.test_case "json link fields" `Quick test_json_link_fields;
+          Alcotest.test_case "baseline ratchet" `Quick test_baseline_ratchet;
+          Alcotest.test_case "phase 1 parses each file once" `Quick test_parse_once;
         ] );
       ("repo", [ Alcotest.test_case "whole tree lint-clean" `Quick test_repo_clean ]);
     ]
