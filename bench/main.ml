@@ -11,8 +11,11 @@
      dune exec bench/main.exe -- golden [--promote] [--full] [--dir DIR]
      dune exec bench/main.exe -- chaos     # Jan 21 / Feb 6 incident replays
      dune exec bench/main.exe -- pathmon-smoke  # quick adaptive-selection sanity run
+     dune exec bench/main.exe -- scaling-smoke  # evidence-tier scaling sweep, 60 s budget
+     dune exec bench/main.exe -- topogen [N] [SEED]  # dump a generated topology
    Artefacts: table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10a
-   fig10b fig10c app_effort survey isd_evolution recovery pathmon micro *)
+   fig10b fig10c app_effort survey isd_evolution recovery pathmon scaling
+   micro *)
 
 let time_section name f =
   (* scion-lint: allow determinism -- wall-clock timing of the bench harness itself, not simulated time *)
@@ -212,6 +215,47 @@ let micro ?(json = false) () =
                ignore
                  (Sciera.Science_dmz.Filter.check filter ~now:0.0 ~src:(ia "71-88") ~payload ~tag)))
       );
+      ( "topogen_1000_ns",
+        Test.make ~name:"topogen generate (1000 ASes)"
+          (Staged.stage (fun () ->
+               ignore (Topogen.generate ~seed:0xBE7CL (Topogen.default ~n_ases:1000)))) );
+      ( "net_dijkstra_1000_ns",
+        Test.make ~name:"net dijkstra (1000-node topogen fabric)"
+          (let gen = Topogen.generate ~seed:0xBE7CL (Topogen.default ~n_ases:1000) in
+           let rng = Scion_util.Rng.of_label 0xBE7CL "bench.net" in
+           let net = Netsim.Net.create ~rng in
+           let node_of =
+             let tbl = Hashtbl.create 1024 in
+             List.iter
+               (fun (a : Topogen.as_info) ->
+                 Hashtbl.replace tbl a.Topogen.ia
+                   (Netsim.Net.add_node net (Scion_addr.Ia.to_string a.Topogen.ia)))
+               gen.Topogen.ases;
+             fun ia ->
+               match Hashtbl.find_opt tbl ia with
+               | Some n -> n
+               | None -> invalid_arg "bench: topogen link endpoint outside the AS set"
+           in
+           List.iter
+             (fun (l : Topogen.link_info) ->
+               ignore
+                 (Netsim.Net.add_link net (node_of l.Topogen.a) (node_of l.Topogen.b)
+                    { Netsim.Net.default_params with latency_ms = l.Topogen.latency_ms }))
+             gen.Topogen.links;
+           let src, dst =
+             match (gen.Topogen.ases, List.rev gen.Topogen.ases) with
+             | first :: _, last :: _ -> (node_of first.Topogen.ia, node_of last.Topogen.ia)
+             | _ -> invalid_arg "bench: empty topogen topology"
+           in
+           Staged.stage (fun () -> ignore (Netsim.Net.dijkstra net ~src ~dst))) );
+      ( "combine_memo_ns",
+        Test.make ~name:"mesh paths (combinator memo hit)"
+          (let net = Sciera.Network.create ~per_origin:4 ~verify_pcbs:false () in
+           let mesh = Sciera.Network.mesh net in
+           let src = ia "71-225" and dst = ia "71-2:0:5c" in
+           ignore (Scion_controlplane.Mesh.paths mesh ~src ~dst);
+           Staged.stage (fun () ->
+               ignore (Scion_controlplane.Mesh.paths mesh ~src ~dst))) );
       ( "lint_full_tree_ns",
         Test.make ~name:"scion-lint full-tree analysis (2-phase)"
           (let lint_dirs =
@@ -414,6 +458,59 @@ let pathmon_smoke () =
     exit 1
   end
 
+(* --- Scaling smoke -------------------------------------------------------- *)
+
+(* `main.exe scaling-smoke`: the evidence-tier scaling sweep (synthetic
+   Topogen meshes at 100/300/1000 ASes next to the 29-AS baseline) under a
+   wall-clock budget. The figure itself is fully deterministic and never
+   reads the clock (the lint forbids it in lib/), so the < 60 s bound on
+   the N=1000 sweep is enforced here, in the driver. Wired into
+   `dune build @scaling`. *)
+let scaling_smoke () =
+  Printf.printf "== Scaling smoke: topogen sweep under the 60 s budget ==\n%!";
+  (* scion-lint: allow determinism -- wall-clock timing of the bench harness itself, not simulated time *)
+  let t0 = Unix.gettimeofday () in
+  let r = Sciera.Exp_scaling.run () in
+  (* scion-lint: allow determinism -- wall-clock timing of the bench harness itself, not simulated time *)
+  let dt = Unix.gettimeofday () -. t0 in
+  Sciera.Exp_scaling.print_scaling r;
+  let failures = ref 0 in
+  let check name ok =
+    if not ok then begin
+      incr failures;
+      Printf.printf "  FAIL %s\n%!" name
+    end
+  in
+  List.iter
+    (fun (w : Sciera.Exp_scaling.row) ->
+      check
+        (Printf.sprintf "%s: control-plane reachability" w.Sciera.Exp_scaling.label)
+        (w.Sciera.Exp_scaling.reachable_pct > 90.0);
+      check
+        (Printf.sprintf "%s: packet delivery" w.Sciera.Exp_scaling.label)
+        (w.Sciera.Exp_scaling.delivered_pct > 80.0))
+    r.Sciera.Exp_scaling.rows;
+  check "sweep under 60 s wall clock" (dt < 60.0);
+  if !failures > 0 then begin
+    Printf.printf "\nscaling smoke: %d check(s) failed (sweep took %.1f s)\n" !failures dt;
+    exit 1
+  end
+  else Printf.printf "\nscaling smoke: all checks passed (sweep took %.1f s)\n" dt
+
+(* --- Topogen dump ---------------------------------------------------------- *)
+
+(* `main.exe topogen [N] [SEED]`: generate a synthetic topology and print
+   its canonical dump (the byte-identity witness of the property tests)
+   plus a summary line. *)
+let topogen_cli rest =
+  let n = match rest with n :: _ -> int_of_string n | [] -> 100 in
+  let seed = match rest with _ :: s :: _ -> Int64.of_string s | _ -> 0x5CA1_AB1EL in
+  let gen = Topogen.generate ~seed (Topogen.default ~n_ases:n) in
+  print_string (Topogen.to_string gen);
+  Printf.printf "%d ASes (%d core), %d links, max leaf depth %d (seed 0x%Lx)\n"
+    (List.length gen.Topogen.ases) (Topogen.core_count gen)
+    (List.length gen.Topogen.links) (Topogen.max_depth gen) seed
+
 (* --- Driver -------------------------------------------------------------- *)
 
 let run_artifact ~days ~json = function
@@ -443,6 +540,11 @@ let run_artifact ~days ~json = function
   | "pathmon" ->
       let r = time_section "pathmon experiment" (fun () -> Sciera.Exp_pathmon.run ~trials:30 ()) in
       Sciera.Exp_pathmon.print_pathmon r
+  | "scaling" ->
+      let r =
+        time_section "scaling sweep (topogen meshes)" (fun () -> Sciera.Exp_scaling.run ())
+      in
+      Sciera.Exp_scaling.print_scaling r
   | "survey" -> Sciera.Survey.print_survey ()
   | "micro" -> micro ~json ()
   | other ->
@@ -452,7 +554,8 @@ let run_artifact ~days ~json = function
 let all_artifacts =
   [
     "table1"; "fig3"; "fig4"; "table2"; "app_effort"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
-    "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution"; "recovery"; "pathmon"; "micro";
+    "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution"; "recovery"; "pathmon"; "scaling";
+    "micro";
   ]
 
 let () =
@@ -463,6 +566,8 @@ let () =
   | "golden" :: rest -> golden rest
   | [ "chaos" ] -> chaos ()
   | [ "pathmon-smoke" ] -> pathmon_smoke ()
+  | [ "scaling-smoke" ] -> scaling_smoke ()
+  | "topogen" :: rest -> topogen_cli rest
   | [] ->
       Printf.printf "SCIERA reproduction — full evaluation run (Section 5)\n\n%!";
       List.iter (run_artifact ~days:Sciera.Incidents.window_days ~json) all_artifacts

@@ -34,6 +34,8 @@ type config = {
   exp_time : int;
   verify_pcbs : bool;
   cert_validity : float;
+  fanout_cap : int option;
+  scale_obs : bool;
 }
 
 let default_config =
@@ -45,6 +47,8 @@ let default_config =
     exp_time = 255;
     verify_pcbs = true;
     cert_validity = 3.0 *. 24.0 *. 3600.0;
+    fanout_cap = None;
+    scale_obs = false;
   }
 
 type role = Parent | Child | Core_nbr | Peer
@@ -68,6 +72,9 @@ type node = {
   pubkey : Schnorr.public_key;
   mutable cert : Cert.t;
   mutable nbrs : neighbor list;
+  mutable nbr_tbl : neighbor option array;
+      (** Dense by local ifid (ids are allocated 1..degree), for O(1)
+          egress lookup on the per-hop forwarding path. *)
   store_intra : Beacon_store.t;
   store_core : Beacon_store.t;
   mutable ups : Pcb.t list;
@@ -86,15 +93,21 @@ type obs = {
   o_cert_renewals : M.counter;
   o_sigcache_hits : M.gauge;
   o_sigcache_misses : M.gauge;
+  o_beacon_fanout : M.counter option;
+      (** Only under [scale_obs]: existing figures pin their snapshot
+          bytes, so the scale-sweep series must stay out of their
+          registries. *)
 }
 
-let make_obs registry =
+let make_obs ~scale_obs registry =
   {
     o_verif_failures = M.counter registry "mesh.verification_failures";
     o_beaconing_runs = M.counter registry "mesh.beaconing_runs";
     o_cert_renewals = M.counter registry "mesh.cert_renewals";
     o_sigcache_hits = M.gauge registry ~labels:[ ("result", "hit") ] "mesh.sigcache";
     o_sigcache_misses = M.gauge registry ~labels:[ ("result", "miss") ] "mesh.sigcache";
+    o_beacon_fanout =
+      (if scale_obs then Some (M.counter registry "mesh.beacon_fanout") else None);
   }
 
 type t = {
@@ -111,6 +124,10 @@ type t = {
   routers : (Ia.t, Router.t) Hashtbl.t;
   mutable verif_failures : int;
   mutable restorations : int;
+  mutable generation : int;  (** Bumped per beaconing run; keys the memo. *)
+  memo : Combinator.Memo.t;
+  mutable fanout_sends : int;
+  mutable fanout_capped : int;
   obs : obs option;
 }
 
@@ -234,6 +251,7 @@ let create ?(config = default_config) ?metrics ~now ~ases ~links () =
           pubkey;
           cert;
           nbrs = [];
+          nbr_tbl = [||];
           store_intra =
             Beacon_store.create ~per_origin:config.per_origin ?metrics
               ~name:(Ia.to_string spec.spec_ia ^ "/intra") ();
@@ -268,33 +286,41 @@ let create ?(config = default_config) ?metrics ~now ~ases ~links () =
              | Parent_child -> (Child, Parent)
              | Peering -> (Peer, Peer)
            in
+           (* Prepend (O(1) per link); declaration order is restored by one
+              List.rev per node below — appending with [@] here is O(deg^2)
+              for the high-degree cores of generated meshes. *)
            na.nbrs <-
-             na.nbrs
-             @ [
-                 {
-                   n_ifid = a_if;
-                   n_ia = spec.l_b;
-                   n_remote_ifid = b_if;
-                   n_cls = spec.cls;
-                   n_role = role_a;
-                   n_link = idx;
-                 };
-               ];
+             {
+               n_ifid = a_if;
+               n_ia = spec.l_b;
+               n_remote_ifid = b_if;
+               n_cls = spec.cls;
+               n_role = role_a;
+               n_link = idx;
+             }
+             :: na.nbrs;
            nb.nbrs <-
-             nb.nbrs
-             @ [
-                 {
-                   n_ifid = b_if;
-                   n_ia = spec.l_a;
-                   n_remote_ifid = a_if;
-                   n_cls = spec.cls;
-                   n_role = role_b;
-                   n_link = idx;
-                 };
-               ];
+             {
+               n_ifid = b_if;
+               n_ia = spec.l_a;
+               n_remote_ifid = a_if;
+               n_cls = spec.cls;
+               n_role = role_b;
+               n_link = idx;
+             }
+             :: nb.nbrs;
            { spec; a_if; b_if; l_up = true })
          links)
   in
+  (* Finalise per-node neighbor state: restore declaration order and build
+     the dense ifid table (ifids are allocated 1..degree per AS). *)
+  Scion_util.Table.iter_sorted ~cmp:Ia.compare
+    (fun _ia (n : node) ->
+      n.nbrs <- List.rev n.nbrs;
+      let tbl = Array.make (List.length n.nbrs + 1) None in
+      List.iter (fun nb -> tbl.(nb.n_ifid) <- Some nb) n.nbrs;
+      n.nbr_tbl <- tbl)
+    nodes;
   let order = List.sort Ia.compare (List.map (fun s -> s.spec_ia) ases) in
   let routers = Hashtbl.create 64 in
   Scion_util.Table.iter_sorted ~cmp:Ia.compare
@@ -320,7 +346,14 @@ let create ?(config = default_config) ?metrics ~now ~ases ~links () =
     routers;
     verif_failures = 0;
     restorations = 0;
-    obs = Option.map make_obs metrics;
+    generation = 0;
+    memo =
+      Combinator.Memo.create
+        ?metrics:(if config.scale_obs then metrics else None)
+        ();
+    fanout_sends = 0;
+    fanout_capped = 0;
+    obs = Option.map (make_obs ~scale_obs:config.scale_obs) metrics;
   }
 
 (* --- Certificates --- *)
@@ -428,6 +461,7 @@ let send_once t ~sender ~egress ~kind pcb =
 
 let run_beaconing t ~now =
   ignore (renew_certificates t ~now);
+  t.generation <- t.generation + 1;
   Hashtbl.reset t.down_registry;
   Hashtbl.reset t.sent_log;
   List.iter
@@ -465,29 +499,48 @@ let run_beaconing t ~now =
             end)
           n.nbrs)
     t.order;
-  (* Propagation rounds. *)
+  (* Propagation rounds. Each extension signs, so per-node sends are the
+     cost driver at scale; [fanout_cap] bounds them per node per round
+     (sends beyond the budget are dropped and counted, never an error). *)
+  let per_round_budget =
+    match t.cfg.fanout_cap with Some c -> c | None -> max_int
+  in
+  let count_send () =
+    t.fanout_sends <- t.fanout_sends + 1;
+    match t.obs with
+    | Some { o_beacon_fanout = Some c; _ } -> M.inc c
+    | Some _ | None -> ()
+  in
   for _round = 1 to t.cfg.rounds do
     List.iter
       (fun ia ->
         let n = node t ia in
+        let budget = ref per_round_budget in
+        let propagate ~kind ~expected_role store_of nb pcb =
+          if not (Pcb.contains pcb nb.n_ia) then begin
+            if !budget <= 0 then t.fanout_capped <- t.fanout_capped + 1
+            else begin
+              match send_once t ~sender:n.nd_ia ~egress:nb.n_ifid ~kind pcb with
+              | None -> ()
+              | Some () -> (
+                  match arrival_ifid t n pcb with
+                  | None -> ()
+                  | Some ingress ->
+                      decr budget;
+                      count_send ();
+                      let ext = extend_from n pcb ~ingress ~egress:nb.n_ifid in
+                      receive t (node t nb.n_ia) ~expected_role ext ~now
+                        (store_of (node t nb.n_ia)))
+            end
+          end
+        in
         (* Intra-ISD beacons flow to children. *)
         let intra = Beacon_store.best n.store_intra ~k:t.cfg.propagate_k in
         List.iter
           (fun nb ->
             if nb.n_role = Child && t.link_arr.(nb.n_link).l_up then
               List.iter
-                (fun pcb ->
-                  if not (Pcb.contains pcb nb.n_ia) then begin
-                    match send_once t ~sender:n.nd_ia ~egress:nb.n_ifid ~kind:"i" pcb with
-                    | None -> ()
-                    | Some () -> (
-                        match arrival_ifid t n pcb with
-                        | None -> ()
-                        | Some ingress ->
-                            let ext = extend_from n pcb ~ingress ~egress:nb.n_ifid in
-                            receive t (node t nb.n_ia) ~expected_role:Parent ext ~now
-                              (node t nb.n_ia).store_intra)
-                  end)
+                (propagate ~kind:"i" ~expected_role:Parent (fun nd -> nd.store_intra) nb)
                 intra)
           n.nbrs;
         (* Core beacons flow across core links. *)
@@ -497,18 +550,7 @@ let run_beaconing t ~now =
             (fun nb ->
               if nb.n_role = Core_nbr && t.link_arr.(nb.n_link).l_up then
                 List.iter
-                  (fun pcb ->
-                    if not (Pcb.contains pcb nb.n_ia) then begin
-                      match send_once t ~sender:n.nd_ia ~egress:nb.n_ifid ~kind:"c" pcb with
-                      | None -> ()
-                      | Some () -> (
-                          match arrival_ifid t n pcb with
-                          | None -> ()
-                          | Some ingress ->
-                              let ext = extend_from n pcb ~ingress ~egress:nb.n_ifid in
-                              receive t (node t nb.n_ia) ~expected_role:Core_nbr ext ~now
-                                (node t nb.n_ia).store_core)
-                    end)
+                  (propagate ~kind:"c" ~expected_role:Core_nbr (fun nd -> nd.store_core) nb)
                   core)
             n.nbrs
         end)
@@ -583,7 +625,11 @@ let walk_packet t ~now ~from ?(max_steps = 64) pkt =
       | Router.Drop reason -> Walk_dropped { at; reason }
       | Router.Forward { egress; packet } -> (
           let n = node t at in
-          match List.find_opt (fun nb -> nb.n_ifid = egress) n.nbrs with
+          let nbr =
+            if egress >= 0 && egress < Array.length n.nbr_tbl then n.nbr_tbl.(egress)
+            else None
+          in
+          match nbr with
           | None -> Walk_dropped { at; reason = Router.Unknown_interface egress }
           | Some nb ->
               if not t.link_arr.(nb.n_link).l_up then
@@ -612,13 +658,35 @@ let path_alive t ~now fp =
 let paths t ~src ~dst =
   if Ia.equal src dst then []
   else begin
-    let src_core = is_core t src and dst_core = is_core t dst in
-    let ups = if src_core then [] else up_segments t src in
-    let downs = if dst_core then [] else down_segments t dst in
-    let core_sources =
-      if src_core then [ src ]
-      else List.sort_uniq Ia.compare (List.map Pcb.origin ups)
-    in
-    let cores = List.concat_map (fun c -> core_segments_at t c) core_sources in
-    Combinator.build ~ups ~cores ~downs ~src ~dst ~src_core ~dst_core
+    match Combinator.Memo.find t.memo ~generation:t.generation ~src ~dst with
+    | Some cached -> cached
+    | None ->
+        let src_core = is_core t src and dst_core = is_core t dst in
+        let ups = if src_core then [] else up_segments t src in
+        let downs = if dst_core then [] else down_segments t dst in
+        let core_sources =
+          if src_core then [ src ]
+          else List.sort_uniq Ia.compare (List.map Pcb.origin ups)
+        in
+        let cores = List.concat_map (fun c -> core_segments_at t c) core_sources in
+        let built = Combinator.build ~ups ~cores ~downs ~src ~dst ~src_core ~dst_core in
+        Combinator.Memo.store t.memo ~generation:t.generation ~src ~dst built;
+        built
   end
+
+let generation t = t.generation
+let memo_stats t = (Combinator.Memo.hits t.memo, Combinator.Memo.misses t.memo)
+let beacon_fanout t = t.fanout_sends
+let fanout_capped t = t.fanout_capped
+
+(* Rough live control-plane footprint of one AS: every stored or terminated
+   PCB costs a fixed overhead plus a per-entry share (hop field, signature,
+   metadata). A model, not a measurement — but a deterministic one, which
+   is what the scaling figure needs. *)
+let state_bytes t ia =
+  let n = node t ia in
+  let pcb_bytes acc pcb = acc + 64 + (96 * Pcb.num_entries pcb) in
+  let acc = List.fold_left pcb_bytes 0 (Beacon_store.all n.store_intra) in
+  let acc = List.fold_left pcb_bytes acc (Beacon_store.all n.store_core) in
+  let acc = List.fold_left pcb_bytes acc n.ups in
+  List.fold_left pcb_bytes acc n.cores_terminated

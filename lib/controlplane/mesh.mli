@@ -34,6 +34,17 @@ type config = {
   exp_time : int;  (** Hop-field expiry encoding (255 = ~24 h). *)
   verify_pcbs : bool;  (** Cryptographically verify PCBs on receipt. *)
   cert_validity : float;  (** AS certificate lifetime in seconds. *)
+  fanout_cap : int option;
+      (** Upper bound on beacon extensions a node sends per propagation
+          round ([None] = unlimited, the historic behaviour). Each send
+          costs a signature, so this is the throttle that keeps dense
+          generated meshes tractable; drops beyond the budget are counted
+          by {!fanout_capped}. *)
+  scale_obs : bool;
+      (** Publish the scale-sweep series ([mesh.beacon_fanout],
+          [combinator.memo_hit]/[combinator.memo_miss]) into [?metrics].
+          Off by default so existing figures' telemetry stays
+          byte-identical. *)
 }
 
 val default_config : config
@@ -115,7 +126,29 @@ val core_segments_at : t -> Ia.t -> Pcb.t list
 
 val paths : t -> src:Ia.t -> dst:Ia.t -> Combinator.fullpath list
 (** All known end-to-end paths (control-plane view; liveness is the data
-    plane's problem). Returns [[]] when [src = dst]. *)
+    plane's problem). Returns [[]] when [src = dst]. Results are memoised
+    per (src, dst) until the next beaconing run invalidates them (see
+    {!generation}), so repeated lookups — the access pattern of the
+    scaling sweeps — pay the combinator cost once. *)
+
+val generation : t -> int
+(** Beaconing-run count; bumped by every {!run_beaconing} (and so by
+    repair-triggered re-originations). The memo key for {!paths}. *)
+
+val memo_stats : t -> int * int
+(** (hits, misses) of the {!paths} memo since mesh creation. *)
+
+val beacon_fanout : t -> int
+(** Total beacon extensions propagated across all beaconing runs. *)
+
+val fanout_capped : t -> int
+(** Propagation sends dropped because a node exhausted
+    [config.fanout_cap] in a round (always 0 with [fanout_cap = None]). *)
+
+val state_bytes : t -> Ia.t -> int
+(** Modelled live control-plane bytes held by one AS: stored plus
+    terminated PCBs at 64 bytes fixed + 96 per AS entry. Deterministic, so
+    the scaling figure can tabulate it. *)
 
 val router : t -> Ia.t -> Scion_dataplane.Router.t
 (** The AS's border router (one logical router per AS; multi-PoP ASes are

@@ -79,9 +79,13 @@ let probe_paths net ~src ~dst =
       in
       dedup
 
-let run net ?(config = default_config) ?(days = Incidents.window_days) ?sources () =
+let run net ?(config = default_config) ?(days = Incidents.window_days) ?sources ?destinations () =
   let sources = match sources with Some s -> s | None -> Topology.measurement_ases in
-  let destinations = List.map (fun (a : Topology.as_info) -> a.Topology.ia) Topology.ases in
+  let destinations =
+    match destinations with
+    | Some d -> d
+    | None -> List.map (fun (a : Topology.as_info) -> a.Topology.ia) Topology.ases
+  in
   let rng = Rng.split (Network.rng net) in
   let intervals = int_of_float (days *. 86400.0 /. config.interval_s) in
   let samples = ref [] in

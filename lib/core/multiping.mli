@@ -60,11 +60,14 @@ val run :
   ?config:config ->
   ?days:float ->
   ?sources:Scion_addr.Ia.t list ->
+  ?destinations:Scion_addr.Ia.t list ->
   unit ->
   dataset
 (** Run the campaign over the window ([days] defaults to the full 20),
-    pinging all SCIERA ASes from each vantage point and advancing the
-    incident calendar as simulated time passes. *)
+    pinging from each vantage point and advancing the incident calendar as
+    simulated time passes. [?sources] defaults to the Figure-1 vantage
+    ASes and [?destinations] to all SCIERA ASes — generated topologies
+    must pass both, since their IAs are not in the hand-built table. *)
 
 val excluded_ip_majority : dataset -> dataset
 (** The paper's fairness rule: drop intervals where the majority of ICMP

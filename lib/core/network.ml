@@ -7,22 +7,27 @@ module Rng = Scion_util.Rng
 let day_seconds = 86400.0
 
 type t = {
+  topo : Topology.spec;  (** The instantiated description (Figure 1 or generated). *)
   mesh : Mesh.t;
   net : Net.t;  (** SCION Layer-2 fabric; link ids match topology order. *)
   ip : Net.t;  (** Commodity-Internet overlay. *)
   ip_rng : Rng.t;
   node : (Ia.t, Net.node) Hashtbl.t;
   ipnode : (Ia.t, Net.node) Hashtbl.t;
-  iface_link : (string, int) Hashtbl.t;  (** "ia#ifid" -> shared link index *)
+  iface_link : (Ia.t * int, int) Hashtbl.t;  (** (ia, ifid) -> shared link index *)
   mutable day : float;
   mutable last_beacon_day : float;
   path_cache : (string, Combinator.fullpath list) Hashtbl.t;
+  links_cache : (string, Net.link_id list) Hashtbl.t;
+      (** fullpath fingerprint -> fabric links; safe across epochs because
+          the interface-id assignment is fixed at construction. *)
   mutable rebeacons : int;
   mutable probe_seq : int;
   obs : Obs.t option;
 }
 
 let mesh t = t.mesh
+let topology t = t.topo
 let current_day t = t.day
 let now_unix t = Incidents.window_start_unix +. (t.day *. day_seconds)
 let scion_fabric t = t.net
@@ -37,8 +42,6 @@ let lookup what to_string tbl key =
   match Hashtbl.find_opt tbl key with
   | Some v -> v
   | None -> invalid_arg (Printf.sprintf "Network: unknown %s %s" what (to_string key))
-
-let iface_key ia ifid = Ia.to_string ia ^ "#" ^ string_of_int ifid
 
 (* Which incident effects apply to a given topology link. *)
 let effects_for (link : Topology.link_info) day =
@@ -71,7 +74,7 @@ let apply_day t day =
         Mesh.set_link_state t.mesh idx ~up:want_up
       end;
       if Net.extra_latency t.net idx <> extra then Net.set_extra_latency t.net idx extra)
-    Topology.links;
+    t.topo.Topology.spec_links;
   !changed_up
 
 let rebeacon t =
@@ -85,15 +88,19 @@ let set_day t day =
   let changed = apply_day t day in
   if changed || day -. t.last_beacon_day > 0.8 || day < t.last_beacon_day then rebeacon t
 
-let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) ?telemetry () =
+let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true)
+    ?(topology = Topology.sciera) ?(rounds = 10) ?propagate_k ?fanout_cap
+    ?(scale_obs = false) ?telemetry () =
   let config =
     {
       Mesh.default_config with
       Mesh.seed;
       per_origin;
-      propagate_k = per_origin;
-      rounds = 10;
+      propagate_k = (match propagate_k with Some k -> k | None -> per_origin);
+      rounds;
       verify_pcbs;
+      fanout_cap;
+      scale_obs;
     }
   in
   let ases =
@@ -109,12 +116,12 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) ?tele
             | Scion_cppki.Cert.Open_source -> "open-source"
             | Scion_cppki.Cert.Proprietary -> "anapaya");
         })
-      Topology.ases
+      topology.Topology.spec_ases
   in
   let mesh_links =
     List.map
       (fun (l : Topology.link_info) -> { Mesh.l_a = l.Topology.a; l_b = l.Topology.b; cls = l.Topology.cls })
-      Topology.links
+      topology.Topology.spec_links
   in
   let metrics = Option.map Obs.registry telemetry in
   let mesh =
@@ -133,7 +140,7 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) ?tele
     (fun (a : Topology.as_info) ->
       Hashtbl.replace node a.Topology.ia (Net.add_node net (Ia.to_string a.Topology.ia));
       Hashtbl.replace ipnode a.Topology.ia (Net.add_node ip (Ia.to_string a.Topology.ia)))
-    Topology.ases;
+    topology.Topology.spec_ases;
   List.iter
     (fun (l : Topology.link_info) ->
       ignore
@@ -149,7 +156,7 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) ?tele
              loss = 0.0005;
              bandwidth_mbps = 10_000.0;
            }))
-    Topology.links;
+    topology.Topology.spec_links;
   (* Internet overlay: hubs plus per-AS access links. *)
   let iphub = Hashtbl.create 16 in
   List.iter
@@ -164,22 +171,23 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) ?tele
     Topology.ip_hub_links;
   List.iter
     (fun (a : Topology.as_info) ->
-      let hub, ms = Topology.ip_access a.Topology.ia in
+      let hub, ms = Topology.ip_access_for a in
       ignore
         (Net.add_link ip
            (lookup "AS" Ia.to_string ipnode a.Topology.ia)
            (lookup "hub" Fun.id iphub hub)
            { Net.latency_ms = ms; jitter_ms = Float.max 0.3 (ms *. 0.12); loss = 0.0003; bandwidth_mbps = 10_000.0 }))
-    Topology.ases;
+    topology.Topology.spec_ases;
   let iface_link = Hashtbl.create 128 in
   List.iter
     (fun (id, (spec : Mesh.link_spec)) ->
       let a_if, b_if = Mesh.link_interfaces mesh id in
-      Hashtbl.replace iface_link (iface_key spec.Mesh.l_a a_if) id;
-      Hashtbl.replace iface_link (iface_key spec.Mesh.l_b b_if) id)
+      Hashtbl.replace iface_link (spec.Mesh.l_a, a_if) id;
+      Hashtbl.replace iface_link (spec.Mesh.l_b, b_if) id)
     (Mesh.links mesh);
   let t =
     {
+      topo = topology;
       mesh;
       net;
       ip;
@@ -190,6 +198,7 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true) ?tele
       day = 0.0;
       last_beacon_day = -1.0;
       path_cache = Hashtbl.create 256;
+      links_cache = Hashtbl.create 256;
       rebeacons = 0;
       probe_seq = 0;
       obs = telemetry;
@@ -254,21 +263,29 @@ let live_paths t ~src ~dst =
   List.filter (fun p -> Mesh.path_alive t.mesh ~now:(now_unix t) p) (paths t ~src ~dst)
 
 let path_links t (fp : Combinator.fullpath) =
-  let rec go = function
-    | [] | [ _ ] -> []
-    | (h : Scion_addr.Hop_pred.hop) :: rest ->
-        let id =
-          match Hashtbl.find_opt t.iface_link (iface_key h.Scion_addr.Hop_pred.ia h.Scion_addr.Hop_pred.egress) with
-          | Some id -> id
-          | None ->
-              invalid_arg
-                (Printf.sprintf "Network.path_links: unknown interface %s#%d"
-                   (Ia.to_string h.Scion_addr.Hop_pred.ia)
-                   h.Scion_addr.Hop_pred.egress)
-        in
-        id :: go rest
-  in
-  go fp.Combinator.interfaces
+  match Hashtbl.find_opt t.links_cache fp.Combinator.fingerprint with
+  | Some ids -> ids
+  | None ->
+      let rec go = function
+        | [] | [ _ ] -> []
+        | (h : Scion_addr.Hop_pred.hop) :: rest ->
+            let id =
+              match
+                Hashtbl.find_opt t.iface_link
+                  (h.Scion_addr.Hop_pred.ia, h.Scion_addr.Hop_pred.egress)
+              with
+              | Some id -> id
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Network.path_links: unknown interface %s#%d"
+                       (Ia.to_string h.Scion_addr.Hop_pred.ia)
+                       h.Scion_addr.Hop_pred.egress)
+            in
+            id :: go rest
+      in
+      let ids = go fp.Combinator.interfaces in
+      Hashtbl.replace t.links_cache fp.Combinator.fingerprint ids;
+      ids
 
 let scion_rtt_sample t fp = Net.path_rtt t.net (path_links t fp)
 let scion_rtt_base t fp = 2.0 *. Net.path_base_latency t.net (path_links t fp)

@@ -11,14 +11,36 @@ module Ia = Scion_addr.Ia
 
 type t
 
-val create : ?seed:int64 -> ?per_origin:int -> ?verify_pcbs:bool -> ?telemetry:Obs.t -> unit -> t
-(** Build the SCIERA network at day 0 of the window and run initial
-    beaconing. [per_origin] sizes the beacon stores (default 12).
+val create :
+  ?seed:int64 ->
+  ?per_origin:int ->
+  ?verify_pcbs:bool ->
+  ?topology:Topology.spec ->
+  ?rounds:int ->
+  ?propagate_k:int ->
+  ?fanout_cap:int ->
+  ?scale_obs:bool ->
+  ?telemetry:Obs.t ->
+  unit ->
+  t
+(** Build a network at day 0 of the window and run initial beaconing.
+    [per_origin] sizes the beacon stores (default 12). [?topology]
+    selects the AS/link description (default {!Topology.sciera}, the
+    Figure-1 deployment); pass [Topology.of_topogen] output to
+    instantiate a generated mesh — the incident calendar then matches no
+    links and day changes only trigger periodic re-beaconing. [?rounds]
+    and [?propagate_k] tune beaconing (defaults 10 and [per_origin]);
+    [?fanout_cap] and [?scale_obs] forward to
+    {!Scion_controlplane.Mesh.config} for large generated meshes.
     [?telemetry] threads a metrics registry through the mesh (beacon
     stores, border routers) and installs link monitors on both fabrics
     (names ["scion"] and ["ip"]). *)
 
 val mesh : t -> Mesh.t
+
+val topology : t -> Topology.spec
+(** The description this network was instantiated from. *)
+
 val now_unix : t -> float
 val current_day : t -> float
 

@@ -294,9 +294,21 @@ let ip_hub_links =
     ("SA", "EU", 113.0);
   ]
 
-let ip_access q =
-  let name = (find q).name in
-  match name with
+(* Region hubs and tier-scaled access latencies for ASes outside the
+   hand-built table (generated topologies): every region homes onto its
+   nearest hub, Africa via London like WACREN does. *)
+let regional_hub = function
+  | Europe -> "EU"
+  | North_america -> "NA-E"
+  | Asia -> "ASIA-SE"
+  | South_america -> "SA"
+  | Africa -> "EU"
+  | Middle_east -> "ME"
+
+let tier_access_ms = function Tier1 -> 2.0 | Tier2 -> 6.0 | Tier3 -> 12.0
+
+let ip_access_for (a : as_info) =
+  match a.name with
   | "GEANT" -> ("EU", 4.0)
   | "BRIDGES" -> ("NA-E", 2.0)
   | "KISTI DJ" -> ("ASIA-E", 2.0)
@@ -326,7 +338,59 @@ let ip_access q =
   | "UFMS" -> ("SA", 16.0)
   | "SWITCH (ISD 64)" -> ("EU", 3.0)
   | "ETH Zurich" -> ("EU", 3.0)
-  | _ -> ("EU", 10.0)
+  | _ -> (regional_hub a.region, tier_access_ms a.tier)
+
+let ip_access q = ip_access_for (find q)
+
+(* --- Instantiable topology descriptions --- *)
+
+type spec = { spec_ases : as_info list; spec_links : link_info list }
+
+let sciera = { spec_ases = ases; spec_links = links }
+
+let region_of_topogen = function
+  | Topogen.Europe -> Europe
+  | Topogen.North_america -> North_america
+  | Topogen.Asia -> Asia
+  | Topogen.South_america -> South_america
+  | Topogen.Africa -> Africa
+  | Topogen.Middle_east -> Middle_east
+
+let tier_of_topogen = function
+  | Topogen.Tier1 -> Tier1
+  | Topogen.Tier2 -> Tier2
+  | Topogen.Tier3 -> Tier3
+
+let of_topogen (g : Topogen.t) =
+  {
+    spec_ases =
+      List.map
+        (fun (a : Topogen.as_info) ->
+          {
+            ia = a.Topogen.ia;
+            name = a.Topogen.name;
+            region = region_of_topogen a.Topogen.region;
+            tier = tier_of_topogen a.Topogen.tier;
+            core = a.Topogen.core;
+            ca = a.Topogen.ca;
+            profile = a.Topogen.profile;
+            measurement_point = a.Topogen.measurement_point;
+            pop = a.Topogen.pop;
+          })
+        g.Topogen.ases;
+    spec_links =
+      List.map
+        (fun (l : Topogen.link_info) ->
+          {
+            a = l.Topogen.a;
+            b = l.Topogen.b;
+            cls = l.Topogen.cls;
+            latency_ms = l.Topogen.latency_ms;
+            jitter_ms = l.Topogen.jitter_ms;
+            label = l.Topogen.label;
+          })
+        g.Topogen.links;
+  }
 
 (* Table 1 of the paper. *)
 let pops =

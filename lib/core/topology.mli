@@ -62,7 +62,26 @@ val ip_hub_links : (string * string * float) list
 (** (hub, hub, one-way ms). *)
 
 val ip_access : Scion_addr.Ia.t -> string * float
-(** The hub an AS homes onto and its access latency. *)
+(** The hub an AS homes onto and its access latency. Raises [Not_found]
+    for an AS outside the Figure-1 table; generated topologies must go
+    through {!ip_access_for}. *)
+
+val ip_access_for : as_info -> string * float
+(** {!ip_access} by record: the hand-built table for the Figure-1 names,
+    otherwise a region hub (Africa homes via Europe, like WACREN) with a
+    tier-scaled access latency — total over any [as_info], so generated
+    meshes always get an IP-baseline homing. *)
+
+(** {1 Instantiable topology descriptions}
+
+    [Network.create] can instantiate any [spec]; {!sciera} is the paper's
+    Figure-1 deployment and {!of_topogen} wraps a synthetic mesh from
+    [Topogen.generate] into the same shape. *)
+
+type spec = { spec_ases : as_info list; spec_links : link_info list }
+
+val sciera : spec
+val of_topogen : Topogen.t -> spec
 
 (** Table 1: PoPs and collaborating networks. *)
 val pops : (string * string * string) list

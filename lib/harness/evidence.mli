@@ -41,10 +41,13 @@ val recovery_trials : int ref
 val pathmon_trials : int ref
 (** Soft-degradation trials behind the pathmon figure (full run: 30). *)
 
+val scaling_sizes : int list ref
+(** Topogen AS counts swept by the scaling figure (full run adds 3000). *)
+
 val use_full_scale : unit -> unit
 (** Switch every scale knob to the full EXPERIMENTS.md campaign (20 days,
-    100 failure runs, 40 recovery trials, 30 pathmon trials) — the
-    [@golden-full] tier.
+    100 failure runs, 40 recovery trials, 30 pathmon trials, scaling up
+    to 3000 ASes) — the [@golden-full] tier.
     Raises [Invalid_argument] if a scale-dependent dataset has already
     been memoised in this process, since that would mix scales. *)
 

@@ -38,8 +38,17 @@ type t = {
   mutable nodes : int;
   mutable links : link array;
   mutable nlinks : int;
-  mutable adjacency : link_id list array;  (** per node *)
-  mutable monitor : (link_event -> unit) option;
+  (* Flat per-node adjacency: link ids in insertion order with an explicit
+     length, iterated newest-first to preserve the historic prepend-order
+     tie-breaking of [route] and [links_of]. Dense int arrays keep the
+     thousand-AS Dijkstra walks free of per-packet list chasing. *)
+  mutable adj : link_id array array;
+  mutable adj_len : int array;
+  (* Monitors are prepended in O(1) and normalised into registration order
+     once at the first notification after a change. *)
+  mutable monitors_rev : (link_event -> unit) list;
+  mutable monitors : (link_event -> unit) array;
+  mutable monitors_stale : bool;
 }
 
 let create ~rng =
@@ -50,13 +59,33 @@ let create ~rng =
     nodes = 0;
     links = [||];
     nlinks = 0;
-    adjacency = Array.make 16 [];
-    monitor = None;
+    adj = Array.make 16 [||];
+    adj_len = Array.make 16 0;
+    monitors_rev = [];
+    monitors = [||];
+    monitors_stale = false;
   }
 
-let set_monitor t f = t.monitor <- Some f
-let clear_monitor t = t.monitor <- None
-let notify t ev = match t.monitor with Some f -> f ev | None -> ()
+let set_monitor t f =
+  t.monitors_rev <- [ f ];
+  t.monitors_stale <- true
+
+let add_monitor t f =
+  t.monitors_rev <- f :: t.monitors_rev;
+  t.monitors_stale <- true
+
+let clear_monitor t =
+  t.monitors_rev <- [];
+  t.monitors_stale <- true
+
+let monitor_array t =
+  if t.monitors_stale then begin
+    t.monitors <- Array.of_list (List.rev t.monitors_rev);
+    t.monitors_stale <- false
+  end;
+  t.monitors
+
+let notify t ev = Array.iter (fun f -> f ev) (monitor_array t)
 
 let add_node t name =
   if Hashtbl.mem t.name_index name then
@@ -65,9 +94,12 @@ let add_node t name =
     let names = Array.make (2 * t.nodes) "" in
     Array.blit t.names 0 names 0 t.nodes;
     t.names <- names;
-    let adjacency = Array.make (2 * t.nodes) [] in
-    Array.blit t.adjacency 0 adjacency 0 t.nodes;
-    t.adjacency <- adjacency
+    let adj = Array.make (2 * t.nodes) [||] in
+    Array.blit t.adj 0 adj 0 t.nodes;
+    t.adj <- adj;
+    let adj_len = Array.make (2 * t.nodes) 0 in
+    Array.blit t.adj_len 0 adj_len 0 t.nodes;
+    t.adj_len <- adj_len
   end;
   let id = t.nodes in
   t.names.(id) <- name;
@@ -114,8 +146,18 @@ let add_link t a b p =
   let id = t.nlinks in
   t.links.(id) <- link;
   t.nlinks <- id + 1;
-  t.adjacency.(a) <- id :: t.adjacency.(a);
-  t.adjacency.(b) <- id :: t.adjacency.(b);
+  let push n =
+    let arr = t.adj.(n) and len = t.adj_len.(n) in
+    if len = Array.length arr then begin
+      let bigger = Array.make (max 4 (2 * len)) 0 in
+      Array.blit arr 0 bigger 0 len;
+      t.adj.(n) <- bigger
+    end;
+    t.adj.(n).(len) <- id;
+    t.adj_len.(n) <- len + 1
+  in
+  push a;
+  push b;
   id
 
 let get t id =
@@ -128,7 +170,10 @@ let endpoints t id =
 
 let params t id = (get t id).p
 let num_links t = t.nlinks
-let links_of t n = t.adjacency.(n)
+
+let links_of t n =
+  let len = t.adj_len.(n) in
+  List.init len (fun i -> t.adj.(n).(len - 1 - i))
 let set_link_up t id up = (get t id).up <- up
 let link_up t id = (get t id).up
 
@@ -213,38 +258,101 @@ let transmit t engine id ~from ~size_bytes ~on_arrival =
       on_arrival ())
   end
 
-(* Uniform-cost search over up links; [weight] chooses the metric. *)
+(* Uniform-cost search over up links; [weight] chooses the metric.
+   Binary-heap Dijkstra with lazy deletion, keyed (distance, node id) so
+   equal-distance ties settle on the lowest node id — the same settlement
+   order as the historic O(n^2) extract-min scan, which is what keeps
+   every route (and therefore every golden) identical at any scale. *)
 let route t ~src ~dst ~weight =
   if src = dst then Some (0.0, [])
   else begin
     let dist = Array.make t.nodes infinity in
     let via = Array.make t.nodes None in
-    let visited = Array.make t.nodes false in
+    let settled = Array.make t.nodes false in
     dist.(src) <- 0.0;
+    (* Parallel-array heap: distances and node ids, no per-entry tuple. *)
+    let hd = ref (Array.make 64 0.0) in
+    let hn = ref (Array.make 64 0) in
+    let hsize = ref 0 in
+    let before i j =
+      let c = Float.compare !hd.(i) !hd.(j) in
+      c < 0 || (c = 0 && !hn.(i) < !hn.(j))
+    in
+    let swap i j =
+      let d = !hd.(i) and n = !hn.(i) in
+      !hd.(i) <- !hd.(j);
+      !hn.(i) <- !hn.(j);
+      !hd.(j) <- d;
+      !hn.(j) <- n
+    in
+    let push d n =
+      if !hsize = Array.length !hd then begin
+        let bd = Array.make (2 * !hsize) 0.0 and bn = Array.make (2 * !hsize) 0 in
+        Array.blit !hd 0 bd 0 !hsize;
+        Array.blit !hn 0 bn 0 !hsize;
+        hd := bd;
+        hn := bn
+      end;
+      let i = ref !hsize in
+      !hd.(!i) <- d;
+      !hn.(!i) <- n;
+      incr hsize;
+      let continue = ref true in
+      while !continue && !i > 0 do
+        let parent = (!i - 1) / 2 in
+        if before !i parent then begin
+          swap !i parent;
+          i := parent
+        end
+        else continue := false
+      done
+    in
+    let pop () =
+      let n = !hn.(0) in
+      decr hsize;
+      if !hsize > 0 then begin
+        !hd.(0) <- !hd.(!hsize);
+        !hn.(0) <- !hn.(!hsize);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < !hsize && before l !smallest then smallest := l;
+          if r < !hsize && before r !smallest then smallest := r;
+          if !smallest <> !i then begin
+            swap !smallest !i;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      n
+    in
+    push 0.0 src;
     let exception Done in
     (try
-       for _ = 1 to t.nodes do
-         (* Extract the unvisited node with smallest distance. *)
-         let u = ref (-1) in
-         for v = 0 to t.nodes - 1 do
-           if (not visited.(v)) && dist.(v) < infinity
-              && (!u = -1 || dist.(v) < dist.(!u)) then u := v
-         done;
-         if !u = -1 then raise Done;
-         if !u = dst then raise Done;
-         visited.(!u) <- true;
-         List.iter
-           (fun id ->
+       while !hsize > 0 do
+         let u = pop () in
+         if u = dst then raise Done;
+         if not settled.(u) then begin
+           settled.(u) <- true;
+           (* Newest-first over the adjacency slice: the historic prepend
+              order that breaks equal-cost ties. *)
+           for k = t.adj_len.(u) - 1 downto 0 do
+             let id = t.adj.(u).(k) in
              let l = t.links.(id) in
              if l.up then begin
-               let v = if l.a = !u then l.b else l.a in
-               let d = dist.(!u) +. weight l in
+               let v = if l.a = u then l.b else l.a in
+               let d = dist.(u) +. weight l in
                if d < dist.(v) -. 1e-12 then begin
                  dist.(v) <- d;
-                 via.(v) <- Some (id, !u)
+                 via.(v) <- Some (id, u);
+                 push d v
                end
-             end)
-           t.adjacency.(!u)
+             end
+           done
+         end
        done
      with Done -> ());
     if dist.(dst) = infinity then None

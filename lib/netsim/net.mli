@@ -107,7 +107,12 @@ type link_event =
   | Drop of { link : link_id; src : node; size_bytes : int; cause : drop_cause }
 
 val set_monitor : t -> (link_event -> unit) -> unit
-(** Install the monitor (replacing any previous one). *)
+(** Install the monitor (replacing any previous ones). *)
+
+val add_monitor : t -> (link_event -> unit) -> unit
+(** Register an additional monitor without displacing existing ones.
+    Monitors run in registration order. Registration is O(1); the
+    fan-out array is rebuilt lazily at the next event. *)
 
 val clear_monitor : t -> unit
 

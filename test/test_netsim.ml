@@ -282,6 +282,54 @@ let test_extra_loss_validation () =
   Net.set_extra_loss net l 0.0;
   Alcotest.(check (float 1e-9)) "burst cleared" 0.0 (Net.extra_loss net l)
 
+(* --- Observer / monitor ordering ---------------------------------------- *)
+
+(* Registration is a prepend behind a lazily rebuilt fan-out array; these
+   pin the user-visible contract — observers fire in registration order —
+   against that representation. *)
+let test_engine_observer_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.on_event e (fun ~time:_ ~pending:_ -> log := i :: !log)
+  done;
+  Engine.schedule e ~after:1.0 (fun () -> ());
+  Engine.run e;
+  Alcotest.(check (list int)) "registration order" [ 1; 2; 3; 4; 5 ] (List.rev !log);
+  (* A late registration joins at the tail, after the fan-out array was
+     already built once. *)
+  log := [];
+  Engine.on_event e (fun ~time:_ ~pending:_ -> log := 6 :: !log);
+  Engine.schedule e ~after:1.0 (fun () -> ());
+  Engine.run e;
+  Alcotest.(check (list int)) "late observer last" [ 1; 2; 3; 4; 5; 6 ] (List.rev !log)
+
+let test_net_monitor_order () =
+  let net = Net.create ~rng:(Rng.create 21L) in
+  let a = Net.add_node net "a" and b = Net.add_node net "b" in
+  let l = Net.add_link net a b { Net.default_params with loss = 0.0 } in
+  let log = ref [] in
+  for i = 1 to 4 do
+    Net.add_monitor net (fun _ev -> log := i :: !log)
+  done;
+  let e = Engine.create () in
+  Net.transmit net e l ~from:a ~size_bytes:100 ~on_arrival:(fun () -> ());
+  Engine.run e;
+  (* Tx then Rx, each fanning out to the four monitors in order. *)
+  Alcotest.(check (list int)) "fan-out order" [ 1; 2; 3; 4; 1; 2; 3; 4 ] (List.rev !log);
+  log := [];
+  Net.set_monitor net (fun _ev -> log := 9 :: !log);
+  let e2 = Engine.create () in
+  Net.transmit net e2 l ~from:a ~size_bytes:100 ~on_arrival:(fun () -> ());
+  Engine.run e2;
+  Alcotest.(check (list int)) "set_monitor replaces all" [ 9; 9 ] (List.rev !log);
+  Net.clear_monitor net;
+  log := [];
+  let e3 = Engine.create () in
+  Net.transmit net e3 l ~from:a ~size_bytes:100 ~on_arrival:(fun () -> ());
+  Engine.run e3;
+  Alcotest.(check (list int)) "cleared" [] (List.rev !log)
+
 let () =
   Alcotest.run "netsim"
     [
@@ -293,6 +341,7 @@ let () =
           Alcotest.test_case "until" `Quick test_engine_until;
           Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
           Alcotest.test_case "many events" `Quick test_engine_many_events;
+          Alcotest.test_case "observer order" `Quick test_engine_observer_order;
         ] );
       ( "net",
         [
@@ -305,6 +354,7 @@ let () =
           Alcotest.test_case "connectivity" `Quick test_net_connectivity;
           Alcotest.test_case "transmit" `Quick test_net_transmit;
           Alcotest.test_case "down link drops" `Quick test_net_transmit_down_link_drops;
+          Alcotest.test_case "monitor order" `Quick test_net_monitor_order;
           QCheck_alcotest.to_alcotest qcheck_dijkstra_optimality;
         ] );
       ( "validation",
