@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- fast      # reduced-scale smoke run
      dune exec bench/main.exe -- micro     # microbenchmarks only
      dune exec bench/main.exe -- micro --json   # also write BENCH_micro.json
+     dune exec bench/main.exe -- micro --check  # fast key-set guard vs BENCH_micro.json
      dune exec bench/main.exe -- golden [--promote] [--full] [--dir DIR]
      dune exec bench/main.exe -- chaos     # Jan 21 / Feb 6 incident replays
      dune exec bench/main.exe -- pathmon-smoke  # quick adaptive-selection sanity run
@@ -71,7 +72,46 @@ let multipath () =
    they must not change when the human-readable Bechamel titles do. *)
 let micro_json_path = "BENCH_micro.json"
 
-let micro ?(json = false) () =
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* `micro --check`: the bench-regression guard. Runs every microbenchmark
+   under a tiny quota (so the guard is cheap enough to ride `dune runtest`)
+   and then requires the produced gauge names to match the checked-in
+   BENCH_micro.json key set exactly. A renamed or deleted benchmark shows
+   up as a missing key; a new benchmark added without refreshing the
+   baseline shows up as an extra key. Either way the fix is explicit:
+   rename back, or refresh with `dune exec bench/main.exe -- micro --json`. *)
+let micro_check_keys produced =
+  let baseline_names =
+    match Telemetry.Export.of_json (read_file micro_json_path) with
+    | Ok samples -> List.map (fun s -> s.Telemetry.Metrics.sample_name) samples
+    | Error e -> failwith (Printf.sprintf "bench check: cannot parse %s: %s" micro_json_path e)
+  in
+  let produced = List.sort_uniq compare produced in
+  let baseline = List.sort_uniq compare baseline_names in
+  let missing = List.filter (fun k -> not (List.mem k produced)) baseline in
+  let extra = List.filter (fun k -> not (List.mem k baseline)) produced in
+  List.iter
+    (fun k -> Printf.printf "  MISSING %-40s (in %s but not produced)\n" k micro_json_path)
+    missing;
+  List.iter
+    (fun k -> Printf.printf "  EXTRA   %-40s (produced but not in %s)\n" k micro_json_path)
+    extra;
+  if missing <> [] || extra <> [] then begin
+    Printf.printf
+      "\nbench check: key set drifted (%d missing, %d extra); refresh with `dune exec \
+       bench/main.exe -- micro --json` or restore the renamed benchmark\n"
+      (List.length missing) (List.length extra);
+    exit 1
+  end
+  else Printf.printf "\nbench check: all %d benchmark keys match %s\n" (List.length baseline)
+      micro_json_path
+
+let micro ?(json = false) ?(check = false) () =
   let open Bechamel in
   let fwkey = Scion_dataplane.Fwkey.of_master_secret "bench" in
   let cmac = Scion_dataplane.Fwkey.cmac_key fwkey in
@@ -133,6 +173,12 @@ let micro ?(json = false) () =
                ignore
                  (Scion_dataplane.Router.process router ~now:(Int32.to_float ts) ~ingress:0
                     (mk_packet ())))) );
+      ( "border_router_forward_view_ns",
+        Test.make ~name:"border-router forward (zero-copy view)"
+          (Staged.stage (fun () ->
+               let v = Scion_dataplane.Packet.View.of_string encoded in
+               ignore
+                 (Scion_dataplane.Router.process_view router ~now:(Int32.to_float ts) ~ingress:0 v))) );
       ( "packet_encode_ns",
         Test.make ~name:"packet encode"
           (Staged.stage (fun () -> ignore (Scion_dataplane.Packet.encode sample_packet))) );
@@ -145,6 +191,14 @@ let micro ?(json = false) () =
       ( "schnorr_verify_ns",
         Test.make ~name:"schnorr verify (PCB entry)"
           (Staged.stage (fun () -> ignore (Scion_crypto.Schnorr.verify pub ~msg:"msg" ~signature))) );
+      ( "schnorr_verify_batch8_ns",
+        Test.make ~name:"schnorr verify_batch (8 sigs, whole batch)"
+          (let batch =
+             List.init 8 (fun i ->
+                 let msg = Printf.sprintf "msg-%d" i in
+                 (pub, msg, Scion_crypto.Schnorr.sign priv msg))
+           in
+           Staged.stage (fun () -> ignore (Scion_crypto.Schnorr.verify_batch batch))) );
       ( "dispatcher_demux_ns",
         Test.make ~name:"dispatcher demux (shared port)"
           (Staged.stage (fun () ->
@@ -203,7 +257,10 @@ let micro ?(json = false) () =
            Staged.stage (fun () ->
                ignore (Pathmon.Selector.choose sel ~candidates ~active:"bench-path-0"))) );
       ( "lightningfilter_check_ns",
-        Test.make ~name:"lightningfilter check"
+        (* Repeats the same packet at a fixed [now]: after the first
+           iteration the tag is a windowed duplicate, so this measures the
+           replay-suppressed admission path (no payload hash). *)
+        Test.make ~name:"lightningfilter check (replay-suppressed)"
           (let filter =
              Sciera.Science_dmz.Filter.create ~local_secret:"s"
                ~allowed:[ (ia "71-88", 1e9) ]
@@ -214,6 +271,24 @@ let micro ?(json = false) () =
            Staged.stage (fun () ->
                ignore
                  (Sciera.Science_dmz.Filter.check filter ~now:0.0 ~src:(ia "71-88") ~payload ~tag)))
+      );
+      ( "lightningfilter_verify_ns",
+        (* Advances [now] one dedup window per iteration, so every check
+           lands in a fresh window and pays the full CMAC over the 1 KiB
+           payload — the pre-dedup cost of lightningfilter_check_ns. *)
+        Test.make ~name:"lightningfilter check (fresh window, full MAC)"
+          (let filter =
+             Sciera.Science_dmz.Filter.create ~local_secret:"s"
+               ~allowed:[ (ia "71-88", 1e9) ]
+               ()
+           in
+           let key = Sciera.Science_dmz.Filter.host_key filter ~peer:(ia "71-88") in
+           let tag = Sciera.Science_dmz.Filter.authenticate ~key ~payload in
+           let now = ref 0.0 in
+           Staged.stage (fun () ->
+               now := !now +. 1.0;
+               ignore
+                 (Sciera.Science_dmz.Filter.check filter ~now:!now ~src:(ia "71-88") ~payload ~tag)))
       );
       ( "topogen_1000_ns",
         Test.make ~name:"topogen generate (1000 ASes)"
@@ -269,7 +344,12 @@ let micro ?(json = false) () =
   in
   Printf.printf "== Microbenchmarks (Bechamel) ==\n%!";
   let benchmark test =
-    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+    (* Check mode only cares that every benchmark still runs and keeps its
+       key, so it trades statistical quality for wall-clock time. *)
+    let cfg =
+      if check then Benchmark.cfg ~limit:10 ~quota:(Time.second 0.01) ()
+      else Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ()
+    in
     Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test
   in
   let ols =
@@ -294,6 +374,9 @@ let micro ?(json = false) () =
     Printf.printf "\n  wrote %s (%d metrics)\n%!" micro_json_path
       (Telemetry.Metrics.size registry)
   end;
+  (* The ablation tables below are not part of the key guard. *)
+  if check then micro_check_keys (List.map fst tests)
+  else begin
   (* The Section 4.8 ablation: dispatcher vs dispatcherless throughput under
      the RSS scaling model. *)
   Printf.printf "\n== Ablation: dispatcher vs dispatcherless (Section 4.8) ==\n";
@@ -336,6 +419,7 @@ let micro ?(json = false) () =
            [ string_of_int k; string_of_int n; Printf.sprintf "%.1f" dt ])
          [ 4; 8; 16; 24 ]);
   print_newline ()
+  end
 
 (* --- Golden evidence ----------------------------------------------------- *)
 
@@ -513,7 +597,7 @@ let topogen_cli rest =
 
 (* --- Driver -------------------------------------------------------------- *)
 
-let run_artifact ~days ~json = function
+let run_artifact ~days ~json ~check = function
   | "table1" -> table1 ()
   | "table2" -> Sciera.Exp_bootstrap.print_table2 ()
   | "fig3" -> Sciera.Deployment.print_fig3 ()
@@ -546,7 +630,7 @@ let run_artifact ~days ~json = function
       in
       Sciera.Exp_scaling.print_scaling r
   | "survey" -> Sciera.Survey.print_survey ()
-  | "micro" -> micro ~json ()
+  | "micro" -> micro ~json ~check ()
   | other ->
       Printf.eprintf "unknown artefact %S\n" other;
       exit 1
@@ -561,7 +645,8 @@ let all_artifacts =
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _exe :: rest -> rest in
   let json = List.mem "--json" args in
-  let args = List.filter (fun a -> a <> "--json") args in
+  let check = List.mem "--check" args in
+  let args = List.filter (fun a -> a <> "--json" && a <> "--check") args in
   match args with
   | "golden" :: rest -> golden rest
   | [ "chaos" ] -> chaos ()
@@ -570,8 +655,9 @@ let () =
   | "topogen" :: rest -> topogen_cli rest
   | [] ->
       Printf.printf "SCIERA reproduction — full evaluation run (Section 5)\n\n%!";
-      List.iter (run_artifact ~days:Sciera.Incidents.window_days ~json) all_artifacts
+      List.iter (run_artifact ~days:Sciera.Incidents.window_days ~json ~check) all_artifacts
   | [ "fast" ] ->
       Printf.printf "SCIERA reproduction — fast run (4 simulated days)\n\n%!";
-      List.iter (run_artifact ~days:4.0 ~json) all_artifacts
-  | artifacts -> List.iter (run_artifact ~days:Sciera.Incidents.window_days ~json) artifacts
+      List.iter (run_artifact ~days:4.0 ~json ~check) all_artifacts
+  | artifacts ->
+      List.iter (run_artifact ~days:Sciera.Incidents.window_days ~json ~check) artifacts

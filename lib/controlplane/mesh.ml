@@ -615,29 +615,36 @@ type walk_result =
   | Walk_delivered of { dst : Ia.t; hops : int; packet : Scion_dataplane.Packet.t }
   | Walk_dropped of { at : Ia.t; reason : Router.drop_reason }
 
+(* The walk encodes the packet once and pushes the zero-copy view through
+   [Router.process_view] hop by hop — the border routers patch the wire
+   buffer in place — then decodes only at the delivery point. *)
 let walk_packet t ~now ~from ?(max_steps = 64) pkt =
-  let rec step at ingress pkt hops =
+  let module Packet = Scion_dataplane.Packet in
+  let v = Packet.View.of_packet pkt in
+  let rec step at ingress hops =
     if hops > max_steps then
       Walk_dropped { at; reason = Router.Path_malformed "forwarding loop suspected" }
     else begin
-      match Router.process (router t at) ~now ~ingress pkt with
-      | Router.Deliver p -> Walk_delivered { dst = at; hops; packet = p }
-      | Router.Drop reason -> Walk_dropped { at; reason }
-      | Router.Forward { egress; packet } -> (
-          let n = node t at in
-          let nbr =
-            if egress >= 0 && egress < Array.length n.nbr_tbl then n.nbr_tbl.(egress)
-            else None
-          in
-          match nbr with
-          | None -> Walk_dropped { at; reason = Router.Unknown_interface egress }
-          | Some nb ->
-              if not t.link_arr.(nb.n_link).l_up then
-                Walk_dropped { at; reason = Router.Interface_down egress }
-              else step nb.n_ia nb.n_remote_ifid packet (hops + 1))
+      let r = router t at in
+      let verdict = Router.process_view r ~now ~ingress v in
+      if verdict = 0 then Walk_delivered { dst = at; hops; packet = Packet.View.to_packet v }
+      else if verdict < 0 then Walk_dropped { at; reason = Router.last_drop r }
+      else begin
+        let egress = verdict in
+        let n = node t at in
+        let nbr =
+          if egress >= 0 && egress < Array.length n.nbr_tbl then n.nbr_tbl.(egress) else None
+        in
+        match nbr with
+        | None -> Walk_dropped { at; reason = Router.Unknown_interface egress }
+        | Some nb ->
+            if not t.link_arr.(nb.n_link).l_up then
+              Walk_dropped { at; reason = Router.Interface_down egress }
+            else step nb.n_ia nb.n_remote_ifid (hops + 1)
+      end
     end
   in
-  step from 0 pkt 0
+  step from 0 0
 
 let walk t ~now ?(payload = "") ?(proto = Scion_dataplane.Packet.Udp) (fp : Combinator.fullpath) =
   let module Packet = Scion_dataplane.Packet in

@@ -140,8 +140,13 @@ let structural_check t ~receiver =
 let verify t ~cache ~lookup ~now =
   if t.entries = [] then Error Empty
   else begin
-    let rec go i = function
-      | [] -> Ok ()
+    (* Pass 1: certificate-chain checks and signed-message reconstruction
+       for every entry. Pass 2: one batched signature verification over the
+       whole PCB — the common case (all signatures valid, most already
+       cached) costs a single random-linear-combination check instead of
+       one full Schnorr verification per entry. *)
+    let rec collect i acc = function
+      | [] -> Ok (List.rev acc)
       | e :: rest -> (
           match lookup e.ia with
           | None -> Error (Unknown_as e.ia)
@@ -150,11 +155,22 @@ let verify t ~cache ~lookup ~now =
               | Error err -> Error (Bad_signature (e.ia, Scion_cppki.Verify.error_to_string err))
               | Ok () ->
                   let msg = signed_bytes_upto t i in
-                  if Sigcache.verify cache as_cert.Scion_cppki.Cert.pubkey ~msg ~signature:e.signature
-                  then go (i + 1) rest
-                  else Error (Bad_signature (e.ia, "PCB entry signature does not verify"))))
+                  collect (i + 1)
+                    ((e.ia, (as_cert.Scion_cppki.Cert.pubkey, msg, e.signature)) :: acc)
+                    rest))
     in
-    go 0 t.entries
+    match collect 0 [] t.entries with
+    | Error _ as err -> err
+    | Ok items ->
+        let verdicts = Sigcache.verify_batch cache (List.map snd items) in
+        let rec first_bad items verdicts =
+          match (items, verdicts) with
+          | (ia, _) :: _, false :: _ ->
+              Error (Bad_signature (ia, "PCB entry signature does not verify"))
+          | _ :: irest, _ :: vrest -> first_bad irest vrest
+          | _, _ -> Ok ()
+        in
+        first_bad items verdicts
   end
 
 let interface_fingerprint t =

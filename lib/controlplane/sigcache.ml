@@ -7,11 +7,12 @@ type t = {
 let create () = { table = Hashtbl.create 1024; hit_count = 0; miss_count = 0 }
 let global = create ()
 
+let cache_key pub ~msg ~signature =
+  Scion_crypto.Sha256.digest
+    (Scion_crypto.Schnorr.public_to_string pub ^ signature ^ Scion_crypto.Sha256.digest msg)
+
 let verify t pub ~msg ~signature =
-  let key =
-    Scion_crypto.Sha256.digest
-      (Scion_crypto.Schnorr.public_to_string pub ^ signature ^ Scion_crypto.Sha256.digest msg)
-  in
+  let key = cache_key pub ~msg ~signature in
   match Hashtbl.find_opt t.table key with
   | Some v ->
       t.hit_count <- t.hit_count + 1;
@@ -21,6 +22,43 @@ let verify t pub ~msg ~signature =
       let v = Scion_crypto.Schnorr.verify pub ~msg ~signature in
       Hashtbl.replace t.table key v;
       v
+
+(* Cache lookups first, then one batched Schnorr pass over the misses.
+   Schnorr.verify_batch is all-or-nothing, so a rejected batch falls back
+   to per-signature verification to attribute the failure; either way each
+   result lands in the cache, so re-receiving the same PCB is pure hits. *)
+let verify_batch t items =
+  let keyed =
+    List.map
+      (fun (pub, msg, signature) -> (cache_key pub ~msg ~signature, pub, msg, signature))
+      items
+  in
+  let pending = Hashtbl.create 16 in
+  List.iter
+    (fun (key, pub, msg, signature) ->
+      if Hashtbl.mem t.table key || Hashtbl.mem pending key then
+        t.hit_count <- t.hit_count + 1
+      else begin
+        t.miss_count <- t.miss_count + 1;
+        Hashtbl.replace pending key (pub, msg, signature)
+      end)
+    keyed;
+  if Hashtbl.length pending > 0 then begin
+    let batch =
+      Scion_util.Table.fold_sorted (fun _ (p, m, s) acc -> (p, m, s) :: acc) pending []
+    in
+    if Scion_crypto.Schnorr.verify_batch batch then
+      Scion_util.Table.iter_sorted (fun key _ -> Hashtbl.replace t.table key true) pending
+    else
+      Scion_util.Table.iter_sorted
+        (fun key (p, m, s) ->
+          Hashtbl.replace t.table key (Scion_crypto.Schnorr.verify p ~msg:m ~signature:s))
+        pending
+  end;
+  List.map
+    (fun (key, _, _, _) ->
+      match Hashtbl.find_opt t.table key with Some v -> v | None -> false)
+    keyed
 
 let hits t = t.hit_count
 let misses t = t.miss_count

@@ -15,6 +15,15 @@ val global : t
 val verify :
   t -> Scion_crypto.Schnorr.public_key -> msg:string -> signature:string -> bool
 
+val verify_batch :
+  t -> (Scion_crypto.Schnorr.public_key * string * string) list -> bool list
+(** [verify_batch t [(pub, msg, signature); ...]] returns one verdict per
+    item, in order. Cached triples are answered from the table; the misses
+    are checked in a single {!Scion_crypto.Schnorr.verify_batch}
+    random-linear-combination pass (duplicates within the batch are
+    collapsed first). If the batched check rejects, each miss is re-verified
+    individually so verdicts stay exact per item. All results are cached. *)
+
 val hits : t -> int
 val misses : t -> int
 val clear : t -> unit

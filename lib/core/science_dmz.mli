@@ -11,15 +11,20 @@
 module Filter : sig
   type t
 
-  type verdict = Accepted | Bad_mac | Rate_limited | Unknown_source
+  type verdict = Accepted | Bad_mac | Rate_limited | Unknown_source | Duplicate
 
   val create :
+    ?dedup_window_s:float ->
     local_secret:string ->
     allowed:(Scion_addr.Ia.t * float) list ->
     unit ->
     t
   (** [allowed] maps each authorised peer AS to its rate limit in
-      packets/second (token bucket with a 1-second burst). *)
+      packets/second (token bucket with a 1-second burst).
+      [dedup_window_s] (default 1.0) is the length of the replay-suppression
+      window: within one window, a tag is MAC-verified at most once per
+      source AS; any later packet carrying the same tag is dropped as
+      {!Duplicate} at hashtable-lookup cost, without touching the payload. *)
 
   val host_key : t -> peer:Scion_addr.Ia.t -> string
   (** The DRKey-style key a sender in [peer] uses to authenticate packets
@@ -30,6 +35,22 @@ module Filter : sig
 
   val check :
     t -> now:float -> src:Scion_addr.Ia.t -> payload:string -> tag:string -> verdict
+  (** Admission order: source lookup, window rotation, tag dedup
+      ({!Duplicate}, no hash), MAC verification ({!Bad_mac}, not recorded
+      in the window), then the token bucket. Only MAC-verified tags enter
+      the dedup store, so a forged tag can never shadow a later genuine
+      packet. *)
+
+  val check_batch :
+    t ->
+    now:float ->
+    (Scion_addr.Ia.t * string * string) list ->
+    verdict list
+  (** [check_batch t ~now [(src, payload, tag); ...]] runs {!check} over an
+      arriving burst sharing one [now]. The whole burst lands in a single
+      dedup window, so each distinct packet is hashed once and every replay
+      in the burst — including replays {e within} the batch — is suppressed
+      at lookup cost. *)
 
   val accepted : t -> int
   val rejected : t -> int

@@ -12,3 +12,10 @@ val expand_key : string -> key
 val encrypt_block : key -> string -> string
 (** [encrypt_block key block] encrypts a single 16-byte block. Raises
     [Invalid_argument] on any other length. *)
+
+val encrypt_into : key -> src:Bytes.t -> dst:Bytes.t -> unit
+(** [encrypt_into key ~src ~dst] encrypts the first 16 bytes of [src] into
+    the first 16 bytes of [dst] without allocating; [src] and [dst] may be
+    the same buffer. This is the border router's per-hop-MAC primitive.
+    Raises [Invalid_argument] when either buffer is shorter than 16
+    bytes. *)

@@ -21,9 +21,20 @@ val add : felem -> felem -> felem
 val sub : felem -> felem -> felem
 val mul : felem -> felem -> felem
 
+val sqr : felem -> felem
+(** [sqr x = mul x x], sharing the off-diagonal limb products — roughly half
+    the cost of a general multiply. Exponentiation ladders are ~80%
+    squarings, so they call this instead of {!mul}. *)
+
 val pow : felem -> Bignum.t -> felem
-(** [pow b e] computes [b ^ e] in the field via square-and-multiply over the
-    fast reduction. *)
+(** [pow b e] computes [b ^ e] in the field with a 4-bit windowed ladder over
+    the fast reduction (quarter the multiplies of plain square-and-multiply
+    for 256-bit exponents). *)
+
+val reduce_exponent : Bignum.t -> Bignum.t
+(** Reduces an arbitrary value modulo [p - 1] (the {!Schnorr} exponent
+    modulus) using the pseudo-Mersenne fold [2^256 === c + 1 (mod p - 1)]
+    instead of generic binary long division. *)
 
 val to_bytes : felem -> string
 (** Fixed 32-byte big-endian encoding. *)

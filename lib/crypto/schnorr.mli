@@ -29,6 +29,17 @@ val sign : private_key -> string -> string
 
 val verify : public_key -> msg:string -> signature:string -> bool
 
+val verify_batch : (public_key * string * string) list -> bool
+(** [verify_batch [(pub, msg, signature); ...]] checks every signature in one
+    random-linear-combination pass: one fixed-base comb power on the left and
+    a single Straus multi-exponentiation on the right, sharing the ~256
+    squarings of the ladder across the whole batch. The empty batch is
+    [true]; a batch of one delegates to {!verify}. A valid batch always
+    passes. An invalid batch fails unless the deterministically derived
+    64-bit coefficients hit a ~2^-64 algebraic coincidence — ample for this
+    deployment reproduction (callers needing exact per-item error reporting
+    should fall back to {!verify} per item when the batch fails). *)
+
 val public_to_string : public_key -> string
 (** 32-byte encoding, suitable for embedding in certificates. *)
 

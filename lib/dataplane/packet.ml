@@ -47,6 +47,7 @@ let make ?(traffic_class = 0) ?(flow_id = 0) ~proto ~src ~dst ~path payload =
 
 exception Malformed of string
 
+(* scion-lint: allow hotpath-allocation -- cold error exit, allocates only for packets being rejected *)
 let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
 let version = 0
 let path_type = function Empty -> 0 | Standard _ -> 1
@@ -120,6 +121,148 @@ let decode s =
     Rw.Reader.expect_end r;
     { traffic_class; flow_id; proto; dst_ia; src_ia; dst_host; src_host; path; payload }
   with Rw.Truncated -> malformed "truncated packet"
+
+(* Zero-copy wire view. A border router forwarding a packet only mutates
+   three header fields (path meta position byte and the current segment
+   identifier), so the fast path keeps the packet as the encoded buffer and
+   patches it in place instead of decode / mutate / re-encode. The view
+   record itself is built once per packet walk; per-hop processing then
+   touches only the buffer. *)
+module View = struct
+  type view = {
+    buf : Bytes.t;
+    len0 : int;
+    len1 : int;
+    len2 : int;
+    nsegs : int;  (* 0 for an empty (intra-AS) path *)
+    total_hops : int;
+    hops_off : int;
+    payload_off : int;
+  }
+
+  (* The address header has fixed-size hosts in this reproduction (DL = SL
+     = 4), so every field before the path sits at a constant offset. *)
+  let path_off = 36
+
+  let u8 v off = Char.code (Bytes.unsafe_get v.buf off)
+  let u16 v off = (u8 v off lsl 8) lor u8 v (off + 1)
+  let u32 v off = (u16 v off lsl 16) lor u16 v (off + 2)
+
+  let of_bytes buf =
+    let len = Bytes.length buf in
+    if len < path_off then malformed "truncated packet";
+    let byte off = Char.code (Bytes.get buf off) in
+    let ver = byte 0 lsr 4 in
+    if ver <> version then malformed "unsupported version %d" ver;
+    (match proto_of_int (byte 4) with
+    | Some _ -> ()
+    | None -> malformed "unknown protocol %d" (byte 4));
+    let ptype = byte 5 in
+    if byte 6 lsr 4 > 1 then malformed "unknown host address type %d" (byte 6 lsr 4);
+    if byte 7 lsr 4 > 1 then malformed "unknown host address type %d" (byte 7 lsr 4);
+    let payload_len = (byte 8 lsl 8) lor byte 9 in
+    let path_len = (byte 10 lsl 8) lor byte 11 in
+    if path_off + path_len + payload_len <> len then malformed "truncated packet";
+    let len0, len1, len2, nsegs, total_hops =
+      match ptype with
+      | 0 ->
+          if path_len <> 0 then malformed "empty path with %d path bytes" path_len;
+          (0, 0, 0, 0, 0)
+      | 1 ->
+          if path_len < 4 then malformed "bad path: truncated path";
+          let meta =
+            (byte path_off lsl 24)
+            lor (byte (path_off + 1) lsl 16)
+            lor (byte (path_off + 2) lsl 8)
+            lor byte (path_off + 3)
+          in
+          let curr_inf = (meta lsr 30) land 0x3 in
+          let curr_hf = (meta lsr 24) land 0x3F in
+          let len0 = (meta lsr 12) land 0x3F in
+          let len1 = (meta lsr 6) land 0x3F in
+          let len2 = meta land 0x3F in
+          let nsegs =
+            if len0 = 0 then malformed "bad path: segment 0 empty"
+            else if len1 = 0 then (if len2 <> 0 then malformed "bad path: segment gap" else 1)
+            else if len2 = 0 then 2
+            else 3
+          in
+          let total = len0 + len1 + len2 in
+          if path_len <> 4 + (8 * nsegs) + (12 * total) then malformed "bad path: truncated path";
+          if curr_inf >= nsegs then malformed "bad path: curr_inf %d out of range" curr_inf;
+          if curr_hf >= total then malformed "bad path: curr_hf %d out of range" curr_hf;
+          (len0, len1, len2, nsegs, total)
+      | _ -> malformed "unknown path type %d" ptype
+    in
+    {
+      buf;
+      len0;
+      len1;
+      len2;
+      nsegs;
+      total_hops;
+      hops_off = path_off + 4 + (8 * nsegs);
+      payload_off = path_off + path_len;
+    }
+
+  (* [encode] returns a fresh, uniquely-owned string, so viewing it without
+     a defensive copy is safe: nothing else can observe the mutation. *)
+  let of_packet p = of_bytes (Bytes.unsafe_of_string (encode p))
+  let of_string s = of_bytes (Bytes.of_string s)
+  let contents v = Bytes.to_string v.buf
+  let to_packet v = decode (Bytes.to_string v.buf)
+  let has_path v = v.nsegs > 0
+
+  let dst_isd v = u16 v 12
+  let dst_asn v = (u16 v 14 lsl 32) lor u32 v 16
+
+  (* Path position, read live from the meta byte so the buffer stays the
+     single source of truth. *)
+  let curr_inf v = u8 v path_off lsr 6
+  let curr_hf v = u8 v path_off land 0x3F
+
+  let info_off v = path_off + 4 + (8 * curr_inf v)
+  let curr_cons_dir v = u8 v (info_off v) land 1 <> 0
+  let curr_peer v = u8 v (info_off v) land 2 <> 0
+  let curr_seg_id v = u16 v (info_off v + 2)
+  let curr_timestamp v = u32 v (info_off v + 4)
+
+  let set_curr_seg_id v x =
+    let off = info_off v + 2 in
+    Bytes.unsafe_set v.buf off (Char.unsafe_chr ((x lsr 8) land 0xFF));
+    Bytes.unsafe_set v.buf (off + 1) (Char.unsafe_chr (x land 0xFF))
+
+  let hop_off v = v.hops_off + (12 * curr_hf v)
+  let curr_exp_time v = u8 v (hop_off v + 1)
+  let curr_cons_ingress v = u16 v (hop_off v + 2)
+  let curr_cons_egress v = u16 v (hop_off v + 4)
+
+  let curr_mac_off v = hop_off v + 6
+  let buffer v = v.buf
+
+  let chain_curr_seg_id v =
+    let m = curr_mac_off v in
+    curr_seg_id v lxor ((u8 v m lsl 8) lor u8 v (m + 1))
+
+  let seg_start v inf = (if inf > 0 then v.len0 else 0) + if inf > 1 then v.len1 else 0
+  let seg_len v inf = if inf = 0 then v.len0 else if inf = 1 then v.len1 else v.len2
+  let curr_is_seg_first v = curr_hf v = seg_start v (curr_inf v)
+
+  let curr_is_seg_last v =
+    let inf = curr_inf v in
+    curr_hf v = seg_start v inf + seg_len v inf - 1
+
+  let at_last_hop v = curr_hf v = v.total_hops - 1
+
+  let advance v =
+    if at_last_hop v then malformed "advance past last hop";
+    let inf = if curr_is_seg_last v then curr_inf v + 1 else curr_inf v in
+    let hf = curr_hf v + 1 in
+    Bytes.unsafe_set v.buf path_off (Char.unsafe_chr ((inf lsl 6) lor hf))
+
+  let traversal_ingress v = if curr_cons_dir v then curr_cons_ingress v else curr_cons_egress v
+  let traversal_egress v = if curr_cons_dir v then curr_cons_egress v else curr_cons_ingress v
+end
 
 let reply_skeleton t ~payload =
   {

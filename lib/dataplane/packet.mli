@@ -59,6 +59,75 @@ val reply_skeleton : t -> payload:string -> t
     does to answer (e.g. an SCMP echo reply). Raises [Path.Malformed] when
     the path cannot be reversed. *)
 
+(** Zero-copy wire view for the forwarding fast path.
+
+    Forwarding only mutates the path-meta position byte and the current
+    segment identifier, so a border router can process the encoded buffer
+    in place instead of decode / mutate / re-encode. All accessors are
+    allocation-free; validation happens once in [of_bytes]. The buffer is
+    the single source of truth: [to_packet]/[contents] at any point yield
+    exactly what an on-wire observer would see. *)
+module View : sig
+  type view
+
+  val of_packet : t -> view
+  (** Encode once and view the result (no defensive copy; the encoded
+      string is fresh). *)
+
+  val of_bytes : Bytes.t -> view
+  (** Validate and view [buf], taking ownership (forwarding mutates it).
+      Raises [Malformed] on anything {!decode} would reject structurally. *)
+
+  val of_string : string -> view
+  (** Copying variant of {!of_bytes}. *)
+
+  val to_packet : view -> t
+  (** Full decode of the current buffer state (delivery path). *)
+
+  val contents : view -> string
+  (** The current wire bytes. *)
+
+  val has_path : view -> bool
+  (** [false] for an empty (intra-AS) path. All path accessors below must
+      only be called when this is [true]. *)
+
+  val dst_isd : view -> int
+  val dst_asn : view -> int
+
+  val curr_inf : view -> int
+  val curr_hf : view -> int
+  val curr_cons_dir : view -> bool
+  val curr_peer : view -> bool
+  val curr_seg_id : view -> int
+  val curr_timestamp : view -> int
+  (** Unsigned 32-bit segment origination time. *)
+
+  val set_curr_seg_id : view -> int -> unit
+  val curr_exp_time : view -> int
+  val curr_cons_ingress : view -> int
+  val curr_cons_egress : view -> int
+
+  val curr_mac_off : view -> int
+  (** Byte offset of the current hop's 6-byte MAC in {!buffer}, for staged
+      in-place verification. *)
+
+  val buffer : view -> Bytes.t
+
+  val chain_curr_seg_id : view -> int
+  (** [Path.chain_seg_id] over the current info/hop, read off the wire. *)
+
+  val curr_is_seg_first : view -> bool
+  val curr_is_seg_last : view -> bool
+  val at_last_hop : view -> bool
+
+  val advance : view -> unit
+  (** In-place {!Path.advance}: patches the path-meta position byte.
+      Raises [Malformed] when already at the last hop. *)
+
+  val traversal_ingress : view -> int
+  val traversal_egress : view -> int
+end
+
 module Udp : sig
   type datagram = { src_port : int; dst_port : int; data : string }
 

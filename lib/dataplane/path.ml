@@ -1,6 +1,6 @@
 module Rw = Scion_util.Rw
 
-type info = { cons_dir : bool; peer : bool; seg_id : int; timestamp : int32 }
+type info = { cons_dir : bool; peer : bool; mutable seg_id : int; timestamp : int32 }
 type hop = { exp_time : int; cons_ingress : int; cons_egress : int; mac : string }
 
 type t = {
@@ -13,6 +13,9 @@ type t = {
 
 exception Malformed of string
 
+(* Cold error exit: only reached by packets that are already being rejected,
+   so its formatting allocations are deliberate. *)
+(* scion-lint: allow hotpath-allocation -- cold error exit, allocates only for packets being rejected *)
 let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
 let max_exp_time = 255
 let mac_len = 6
@@ -48,8 +51,14 @@ let create segments =
    timestamp, as in the SCION header spec. *)
 let expiry_period = 24.0 *. 3600.0 /. 256.0
 
+(* Scalar variant for the packet-view fast path, which reads the timestamp
+   as an unsigned int straight off the wire. *)
+let hop_expiry_ts ~timestamp ~exp_time =
+  (* scion-lint: allow hotpath-allocation -- expiry is float math by design; two boxed floats per packet, pinned by the bench guard *)
+  float_of_int timestamp +. (float_of_int (exp_time + 1) *. expiry_period)
+
 let hop_expiry info hop =
-  Int32.to_float info.timestamp +. (float_of_int (hop.exp_time + 1) *. expiry_period)
+  hop_expiry_ts ~timestamp:(Int32.to_int info.timestamp land 0xFFFFFFFF) ~exp_time:hop.exp_time
 
 let mac_input ~seg_id ~timestamp hop =
   let w = Rw.Writer.create () in
@@ -63,8 +72,40 @@ let mac_input ~seg_id ~timestamp hop =
   Rw.Writer.u16 w 0;
   Rw.Writer.contents w
 
+(* The MAC input is exactly one AES block, so the hot path stages the 16
+   bytes straight into the CMAC key's scratch block and verifies in place:
+   no Writer, no intermediate strings, one AES call. *)
+let stage_mac_fields key ~seg_id ~timestamp ~exp_time ~cons_ingress ~cons_egress =
+  let b = Scion_crypto.Cmac.stage key in
+  Bytes.unsafe_set b 0 '\x00';
+  Bytes.unsafe_set b 1 '\x00';
+  Bytes.unsafe_set b 2 (Char.unsafe_chr ((seg_id lsr 8) land 0xFF));
+  Bytes.unsafe_set b 3 (Char.unsafe_chr (seg_id land 0xFF));
+  let ts = timestamp land 0xFFFFFFFF in
+  Bytes.unsafe_set b 4 (Char.unsafe_chr ((ts lsr 24) land 0xFF));
+  Bytes.unsafe_set b 5 (Char.unsafe_chr ((ts lsr 16) land 0xFF));
+  Bytes.unsafe_set b 6 (Char.unsafe_chr ((ts lsr 8) land 0xFF));
+  Bytes.unsafe_set b 7 (Char.unsafe_chr (ts land 0xFF));
+  Bytes.unsafe_set b 8 '\x00';
+  Bytes.unsafe_set b 9 (Char.unsafe_chr (exp_time land 0xFF));
+  Bytes.unsafe_set b 10 (Char.unsafe_chr ((cons_ingress lsr 8) land 0xFF));
+  Bytes.unsafe_set b 11 (Char.unsafe_chr (cons_ingress land 0xFF));
+  Bytes.unsafe_set b 12 (Char.unsafe_chr ((cons_egress lsr 8) land 0xFF));
+  Bytes.unsafe_set b 13 (Char.unsafe_chr (cons_egress land 0xFF));
+  Bytes.unsafe_set b 14 '\x00';
+  Bytes.unsafe_set b 15 '\x00'
+
+let verify_mac key ~seg_id ~timestamp hop =
+  stage_mac_fields key ~seg_id ~timestamp:(Int32.to_int timestamp) ~exp_time:hop.exp_time
+    ~cons_ingress:hop.cons_ingress ~cons_egress:hop.cons_egress;
+  Scion_crypto.Cmac.verify_staged_string key ~tag:hop.mac
+
 let compute_mac key ~seg_id ~timestamp hop =
-  Scion_crypto.Cmac.mac_truncated key (mac_input ~seg_id ~timestamp hop) mac_len
+  stage_mac_fields key ~seg_id ~timestamp:(Int32.to_int timestamp) ~exp_time:hop.exp_time
+    ~cons_ingress:hop.cons_ingress ~cons_egress:hop.cons_egress;
+  let out = Bytes.create mac_len in
+  Scion_crypto.Cmac.mac_staged_into key ~dst:out ~off:0 ~len:mac_len;
+  Bytes.to_string out
 
 let chain_seg_id ~seg_id ~mac =
   seg_id lxor ((Char.code mac.[0] lsl 8) lor Char.code mac.[1])
@@ -136,9 +177,7 @@ let encoded_length t = 4 + (8 * Array.length t.infos) + (12 * Array.length t.hop
 let current_info t = t.infos.(t.curr_inf)
 let current_hop t = t.hops.(t.curr_hf)
 
-let set_seg_id t v =
-  let info = t.infos.(t.curr_inf) in
-  t.infos.(t.curr_inf) <- { info with seg_id = v land 0xFFFF }
+let set_seg_id t v = t.infos.(t.curr_inf).seg_id <- v land 0xFFFF
 
 let seg_start t inf =
   let start = ref 0 in
@@ -161,6 +200,16 @@ let traversal_interfaces t =
   let hop = current_hop t in
   if (current_info t).cons_dir then (hop.cons_ingress, hop.cons_egress)
   else (hop.cons_egress, hop.cons_ingress)
+
+(* Scalar variants of [traversal_interfaces] for the forwarding fast path:
+   no tuple allocation per packet. *)
+let traversal_ingress t =
+  let hop = current_hop t in
+  if (current_info t).cons_dir then hop.cons_ingress else hop.cons_egress
+
+let traversal_egress t =
+  let hop = current_hop t in
+  if (current_info t).cons_dir then hop.cons_egress else hop.cons_ingress
 
 let reverse t =
   let nsegs = Array.length t.infos in

@@ -13,7 +13,7 @@
 type info = {
   cons_dir : bool;  (** [true] when traversed in construction direction. *)
   peer : bool;  (** Peering-shortcut segment flag. *)
-  seg_id : int;  (** Current beta (16 bits), mutated during forwarding. *)
+  mutable seg_id : int;  (** Current beta (16 bits), mutated in place during forwarding. *)
   timestamp : int32;  (** Segment origination time (unix seconds). *)
 }
 
@@ -48,13 +48,38 @@ val hop_expiry : info -> hop -> float
 (** Absolute expiry time in unix seconds: the spec's relative encoding
     [ (exp_time + 1) * 24h / 256 ] added to the segment timestamp. *)
 
+val hop_expiry_ts : timestamp:int -> exp_time:int -> float
+(** Scalar variant of {!hop_expiry} for callers holding the raw wire fields
+    ([timestamp] as an unsigned 32-bit int). *)
+
 val max_exp_time : int
+
+val mac_len : int
+(** Length of the truncated hop MAC on the wire (6 bytes). *)
 
 val mac_input : seg_id:int -> timestamp:int32 -> hop -> string
 (** The canonical 16-byte MAC input block for a hop field. *)
 
 val compute_mac : Scion_crypto.Cmac.key -> seg_id:int -> timestamp:int32 -> hop -> string
 (** 6-byte truncated hop MAC. *)
+
+val stage_mac_fields :
+  Scion_crypto.Cmac.key ->
+  seg_id:int ->
+  timestamp:int ->
+  exp_time:int ->
+  cons_ingress:int ->
+  cons_egress:int ->
+  unit
+(** Write the canonical 16-byte MAC input straight into the CMAC key's
+    staging block ({!Scion_crypto.Cmac.stage}) without allocating; follow
+    with a staged CMAC operation. The fields are scalars (the timestamp an
+    unsigned 32-bit int) so the packet-view fast path can verify hops read
+    directly out of a wire buffer. *)
+
+val verify_mac : Scion_crypto.Cmac.key -> seg_id:int -> timestamp:int32 -> hop -> bool
+(** Allocation-free check of [hop.mac]: stages the input block and compares
+    the truncated tag in place (one AES call, no intermediate strings). *)
 
 val chain_seg_id : seg_id:int -> mac:string -> int
 (** [beta xor mac[0..1]]. *)
@@ -84,6 +109,11 @@ val traversal_interfaces : t -> int * int
 (** [(ingress, egress)] of the current hop in traversal direction: for a
     segment traversed against construction direction the constructed
     ingress/egress roles are swapped. *)
+
+val traversal_ingress : t -> int
+val traversal_egress : t -> int
+(** Scalar variants of {!traversal_interfaces} — the forwarding fast path
+    reads each side separately to avoid a per-packet tuple. *)
 
 val reverse : t -> t
 (** The path as seen by the replying end host: segments and hops in reverse

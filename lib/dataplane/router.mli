@@ -64,6 +64,20 @@ val process : t -> now:float -> ingress:int -> Packet.t -> verdict
     interface the packet arrived on, 0 meaning "from inside the AS" (an
     end host or gateway). The returned packet shares the (mutated) path. *)
 
+val process_view : t -> now:float -> ingress:int -> Packet.View.view -> int
+(** Allocation-free twin of {!process} over a zero-copy wire view: the hop
+    field is read and verified in place and the path position / segment id
+    are patched back into the buffer, so forwarding a packet allocates
+    nothing. The verdict is int-coded to stay flat: [0] delivers to the
+    local AS, a positive value forwards out of that egress interface, and a
+    negative value drops — the reason is retrieved with {!last_drop}.
+    Decision-for-decision identical to {!process} (same checks, same
+    counters and telemetry), which the conformance suite pins. *)
+
+val last_drop : t -> drop_reason
+(** The reason behind the most recent drop verdict from {!process_view}
+    (or {!process}). Only meaningful immediately after a drop. *)
+
 val scmp_answer : t -> drop_reason -> Scmp.t option
 (** The SCMP error message this router sends back to the source for a
     drop — the answer a dead-interface traversal gets instead of silence.

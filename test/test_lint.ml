@@ -484,6 +484,56 @@ let test_repo_clean () =
   Alcotest.(check (list string)) "repo is lint-clean"
     [] (List.map Lint.to_text errors)
 
+(* --- Baseline hygiene: the allowance may only shrink --------------------- *)
+
+(* The ratchet rejects new findings, but nothing in `dune build @lint` stops
+   the checked-in allowance itself from quietly growing back through a
+   regenerated baseline. Pin the high-water mark: the number of baseline
+   entries and the total allowed findings may only go down. Deliberately
+   adding a hot-path allocation means raising these numbers in the same
+   change, which makes the regression explicit in review. *)
+let baseline_max_entries = 4
+let baseline_max_allowance = 7
+
+let test_baseline_high_water () =
+  let src = In_channel.with_open_bin "../devtools/lint/baseline.json" In_channel.input_all in
+  let base =
+    match Baseline.of_string src with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "cannot parse checked-in baseline: %s" e
+  in
+  let entries = Hashtbl.length base in
+  let allowance = Hashtbl.fold (fun _ n acc -> acc + n) base 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "baseline entries %d <= high-water mark %d" entries baseline_max_entries)
+    true (entries <= baseline_max_entries);
+  Alcotest.(check bool)
+    (Printf.sprintf "baseline allowance %d <= high-water mark %d" allowance baseline_max_allowance)
+    true (allowance <= baseline_max_allowance);
+  (* No zombie allowances: every baselined count must still be backed by
+     that many live findings. A fixed finding whose allowance lingers would
+     let an unrelated regression of the same key slip in unnoticed, so the
+     fix must shrink the baseline in the same change. *)
+  let root = ".." in
+  let dirs =
+    List.filter
+      (fun d -> Sys.file_exists (Filename.concat root d))
+      [ "lib"; "bin"; "bench"; "examples"; "devtools" ]
+  in
+  let live = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let k = Baseline.key f in
+      Hashtbl.replace live k (1 + Scion_util.Table.find_or ~default:0 live k))
+    (lint_tree ~root ~dirs ());
+  Hashtbl.iter
+    (fun k allowed ->
+      let actual = Scion_util.Table.find_or ~default:0 live k in
+      Alcotest.(check bool)
+        (Printf.sprintf "allowance for %s (%d) backed by live findings (%d)" k allowed actual)
+        true (allowed <= actual))
+    base
+
 let () =
   Alcotest.run "scion_lint"
     [
@@ -521,5 +571,9 @@ let () =
           Alcotest.test_case "baseline ratchet" `Quick test_baseline_ratchet;
           Alcotest.test_case "phase 1 parses each file once" `Quick test_parse_once;
         ] );
-      ("repo", [ Alcotest.test_case "whole tree lint-clean" `Quick test_repo_clean ]);
+      ( "repo",
+        [
+          Alcotest.test_case "whole tree lint-clean" `Quick test_repo_clean;
+          Alcotest.test_case "baseline high-water mark" `Quick test_baseline_high_water;
+        ] );
     ]

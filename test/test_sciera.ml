@@ -224,8 +224,13 @@ let test_filter_verdicts () =
   let key = F.host_key filter ~peer in
   let tag = F.authenticate ~key ~payload:"data" in
   Alcotest.(check bool) "accepts" true (F.check filter ~now:0.0 ~src:peer ~payload:"data" ~tag = F.Accepted);
+  (* Replaying an already-verified tag is suppressed before the MAC. *)
+  Alcotest.(check bool) "duplicate" true
+    (F.check filter ~now:0.0 ~src:peer ~payload:"datX" ~tag = F.Duplicate);
+  (* A never-seen tag that does not authenticate the payload is a MAC failure. *)
+  let wrong_tag = F.authenticate ~key ~payload:"something-else" in
   Alcotest.(check bool) "bad mac" true
-    (F.check filter ~now:0.0 ~src:peer ~payload:"datX" ~tag = F.Bad_mac);
+    (F.check filter ~now:0.0 ~src:peer ~payload:"datX" ~tag:wrong_tag = F.Bad_mac);
   Alcotest.(check bool) "unknown" true
     (F.check filter ~now:0.0 ~src:(ia "71-88") ~payload:"data" ~tag = F.Unknown_source);
   (* Rate limit: 2 pps bucket drains on the third packet in the same second. *)
@@ -239,7 +244,43 @@ let test_filter_verdicts () =
   Alcotest.(check bool) "after a second" true
     (F.check filter ~now:1.0 ~src:peer ~payload:"d4" ~tag:t4 = F.Accepted);
   Alcotest.(check int) "accepted count" 3 (F.accepted filter);
-  Alcotest.(check int) "rejected count" 3 (F.rejected filter)
+  Alcotest.(check int) "rejected count" 4 (F.rejected filter)
+
+let test_filter_duplicate_suppression () =
+  let module F = Sciera.Science_dmz.Filter in
+  let peer = ia "71-50999" in
+  let filter = F.create ~dedup_window_s:1.0 ~local_secret:"s" ~allowed:[ (peer, 100.0) ] () in
+  let key = F.host_key filter ~peer in
+  let tag = F.authenticate ~key ~payload:"data" in
+  Alcotest.(check bool) "first seen accepted" true
+    (F.check filter ~now:0.2 ~src:peer ~payload:"data" ~tag = F.Accepted);
+  Alcotest.(check bool) "replay in window suppressed" true
+    (F.check filter ~now:0.3 ~src:peer ~payload:"data" ~tag = F.Duplicate);
+  (* Dedup keys on the tag: a forged payload riding a replayed tag is
+     dropped without recomputing the MAC. *)
+  Alcotest.(check bool) "forged payload on replayed tag" true
+    (F.check filter ~now:0.4 ~src:peer ~payload:"forged" ~tag = F.Duplicate);
+  (* Once the window rolls over, the same packet is admitted again. *)
+  Alcotest.(check bool) "fresh window re-admits" true
+    (F.check filter ~now:1.5 ~src:peer ~payload:"data" ~tag = F.Accepted);
+  (* MAC failures are never recorded in the window, so a forged tag cannot
+     shadow a later genuine packet and repeats stay Bad_mac. *)
+  let tag2 = F.authenticate ~key ~payload:"other" in
+  Alcotest.(check bool) "bad mac" true
+    (F.check filter ~now:1.6 ~src:peer ~payload:"p" ~tag:tag2 = F.Bad_mac);
+  Alcotest.(check bool) "bad mac repeats, not duplicate" true
+    (F.check filter ~now:1.7 ~src:peer ~payload:"p" ~tag:tag2 = F.Bad_mac);
+  Alcotest.(check bool) "genuine packet unshadowed by forged attempts" true
+    (F.check filter ~now:1.8 ~src:peer ~payload:"other" ~tag:tag2 = F.Accepted);
+  (* check_batch: one window for the whole burst, replays inside the batch
+     included. *)
+  let ta = F.authenticate ~key ~payload:"a" and tb = F.authenticate ~key ~payload:"b" in
+  let verdicts =
+    F.check_batch filter ~now:3.0
+      [ (peer, "a", ta); (peer, "a", ta); (peer, "b", tb); (ia "71-88", "a", ta) ]
+  in
+  Alcotest.(check bool) "batch verdicts" true
+    (verdicts = [ F.Accepted; F.Duplicate; F.Accepted; F.Unknown_source ])
 
 let test_hercules_plan () =
   let module H = Sciera.Science_dmz.Hercules in
@@ -439,6 +480,7 @@ let () =
       ( "science_dmz",
         [
           Alcotest.test_case "filter verdicts" `Quick test_filter_verdicts;
+          Alcotest.test_case "filter duplicate suppression" `Quick test_filter_duplicate_suppression;
           Alcotest.test_case "hercules plan" `Quick test_hercules_plan;
         ] );
       ( "evaluation-data",
