@@ -26,6 +26,18 @@ let ca_for cas isd =
   | Some ca -> ca
   | None -> invalid_arg (Printf.sprintf "Mesh: no CA for ISD %d" isd)
 
+type quarantine_policy = { q_threshold : int; q_backoff : Scion_util.Backoff.policy }
+
+let default_quarantine =
+  {
+    q_threshold = 3;
+    (* Zero jitter: quarantine pacing must not draw from the mesh stream,
+       so attaching an adversary leaves workload draws untouched. *)
+    q_backoff =
+      Scion_util.Backoff.make ~base_ms:5_000.0 ~multiplier:2.0 ~cap_ms:120_000.0 ~jitter:0.0
+        ~max_attempts:1_000 ();
+  }
+
 type config = {
   seed : int64;
   per_origin : int;
@@ -36,6 +48,7 @@ type config = {
   cert_validity : float;
   fanout_cap : int option;
   scale_obs : bool;
+  quarantine : quarantine_policy option;
 }
 
 let default_config =
@@ -49,6 +62,7 @@ let default_config =
     cert_validity = 3.0 *. 24.0 *. 3600.0;
     fanout_cap = None;
     scale_obs = false;
+    quarantine = None;
   }
 
 type role = Parent | Child | Core_nbr | Peer
@@ -61,6 +75,10 @@ type neighbor = {
   n_role : role;
   n_link : int;
 }
+
+(* Per-neighbor containment state: repeated verification failures from one
+   interface earn exponentially longer quarantine windows. *)
+type qstate = { mutable strikes : int; mutable offences : int; mutable q_until : float }
 
 type node = {
   nd_ia : Ia.t;
@@ -75,6 +93,7 @@ type node = {
   mutable nbr_tbl : neighbor option array;
       (** Dense by local ifid (ids are allocated 1..degree), for O(1)
           egress lookup on the per-hop forwarding path. *)
+  mutable q_tbl : qstate option array;  (** Dense by local ifid, like [nbr_tbl]. *)
   store_intra : Beacon_store.t;
   store_core : Beacon_store.t;
   mutable ups : Pcb.t list;
@@ -97,9 +116,12 @@ type obs = {
       (** Only under [scale_obs]: existing figures pin their snapshot
           bytes, so the scale-sweep series must stay out of their
           registries. *)
+  o_quarantine_events : M.counter option;
+      (** Only when [config.quarantine] is set, for the same reason. *)
+  o_quarantine_drops : M.counter option;
 }
 
-let make_obs ~scale_obs registry =
+let make_obs ~scale_obs ~quarantine registry =
   {
     o_verif_failures = M.counter registry "mesh.verification_failures";
     o_beaconing_runs = M.counter registry "mesh.beaconing_runs";
@@ -108,6 +130,10 @@ let make_obs ~scale_obs registry =
     o_sigcache_misses = M.gauge registry ~labels:[ ("result", "miss") ] "mesh.sigcache";
     o_beacon_fanout =
       (if scale_obs then Some (M.counter registry "mesh.beacon_fanout") else None);
+    o_quarantine_events =
+      (if quarantine then Some (M.counter registry "mesh.quarantine_events") else None);
+    o_quarantine_drops =
+      (if quarantine then Some (M.counter registry "mesh.quarantine_drops") else None);
   }
 
 type t = {
@@ -122,6 +148,15 @@ type t = {
   sent_log : (string, unit) Hashtbl.t;
   cache : Sigcache.t;
   routers : (Ia.t, Router.t) Hashtbl.t;
+  roots : (int, string * Schnorr.private_key * Schnorr.public_key) Hashtbl.t;
+      (** Per-ISD root key material — retained so a rotation drill can vote
+          the successor TRC in with the previous root. *)
+  seized : (Ia.t, Schnorr.private_key) Hashtbl.t;
+      (** ASes whose identity an attacker holds (CA-compromise model):
+          the attacker's signing key, matching the node's swapped cert. *)
+  mutable rotations : int;
+  mutable quarantine_events : int;
+  mutable quarantine_drops : int;
   mutable verif_failures : int;
   mutable restorations : int;
   mutable generation : int;  (** Bumped per beaconing run; keys the memo. *)
@@ -192,6 +227,7 @@ let create ?(config = default_config) ?metrics ~now ~ases ~links () =
   in
   let trcs = Hashtbl.create 4 in
   let cas = Hashtbl.create 4 in
+  let roots = Hashtbl.create 4 in
   let ten_years = 10.0 *. 365.0 *. 24.0 *. 3600.0 in
   List.iter
     (fun isd ->
@@ -217,6 +253,7 @@ let create ?(config = default_config) ?metrics ~now ~ases ~links () =
           ~roots:[ (root_name, root_priv, root_pub) ]
       in
       Hashtbl.replace trcs isd trc;
+      Hashtbl.replace roots isd (root_name, root_priv, root_pub);
       let ca_priv, ca_pub =
         Schnorr.derive ~seed:(Printf.sprintf "%s/ca/%d" seed_str isd)
       in
@@ -252,6 +289,7 @@ let create ?(config = default_config) ?metrics ~now ~ases ~links () =
           cert;
           nbrs = [];
           nbr_tbl = [||];
+          q_tbl = [||];
           store_intra =
             Beacon_store.create ~per_origin:config.per_origin ?metrics
               ~name:(Ia.to_string spec.spec_ia ^ "/intra") ();
@@ -319,7 +357,8 @@ let create ?(config = default_config) ?metrics ~now ~ases ~links () =
       n.nbrs <- List.rev n.nbrs;
       let tbl = Array.make (List.length n.nbrs + 1) None in
       List.iter (fun nb -> tbl.(nb.n_ifid) <- Some nb) n.nbrs;
-      n.nbr_tbl <- tbl)
+      n.nbr_tbl <- tbl;
+      n.q_tbl <- Array.make (Array.length tbl) None)
     nodes;
   let order = List.sort Ia.compare (List.map (fun s -> s.spec_ia) ases) in
   let routers = Hashtbl.create 64 in
@@ -344,6 +383,11 @@ let create ?(config = default_config) ?metrics ~now ~ases ~links () =
     sent_log = Hashtbl.create 4096;
     cache = Sigcache.global;
     routers;
+    roots;
+    seized = Hashtbl.create 4;
+    rotations = 0;
+    quarantine_events = 0;
+    quarantine_drops = 0;
     verif_failures = 0;
     restorations = 0;
     generation = 0;
@@ -353,7 +397,10 @@ let create ?(config = default_config) ?metrics ~now ~ases ~links () =
         ();
     fanout_sends = 0;
     fanout_capped = 0;
-    obs = Option.map (make_obs ~scale_obs:config.scale_obs) metrics;
+    obs =
+      Option.map
+        (make_obs ~scale_obs:config.scale_obs ~quarantine:(config.quarantine <> None))
+        metrics;
   }
 
 (* --- Certificates --- *)
@@ -413,14 +460,49 @@ let peer_links_of (n : node) t =
       else None)
     n.nbrs
 
-let receive t (receiver : node) ~(expected_role : role) pcb ~now store =
+(* Beacon-origin containment: a neighbor interface that keeps failing
+   verification stops being processed for a while. Windows are paced by
+   [Scion_util.Backoff] with zero jitter, so quarantine never draws from
+   any RNG stream. *)
+let quarantined (n : node) ifid ~now =
+  if ifid >= 0 && ifid < Array.length n.q_tbl then
+    match n.q_tbl.(ifid) with Some st -> now < st.q_until | None -> false
+  else false
+
+let strike t (n : node) (nb : neighbor) ~now =
+  match t.cfg.quarantine with
+  | None -> ()
+  | Some q ->
+      let st =
+        match n.q_tbl.(nb.n_ifid) with
+        | Some st -> st
+        | None ->
+            let st = { strikes = 0; offences = 0; q_until = neg_infinity } in
+            n.q_tbl.(nb.n_ifid) <- Some st;
+            st
+      in
+      st.strikes <- st.strikes + 1;
+      if st.strikes >= q.q_threshold then begin
+        st.strikes <- 0;
+        st.offences <- st.offences + 1;
+        let delay_ms =
+          Scion_util.Backoff.delay_ms q.q_backoff ~rng:t.rng ~attempt:st.offences
+        in
+        st.q_until <- now +. (delay_ms /. 1000.0);
+        t.quarantine_events <- t.quarantine_events + 1;
+        match t.obs with
+        | Some { o_quarantine_events = Some c; _ } -> M.inc c
+        | Some _ | None -> ()
+      end
+
+let receive_pcb t (receiver : node) ~(expected_role : role) pcb ~now store =
   match Pcb.structural_check pcb ~receiver:receiver.nd_ia with
-  | Error _ -> ()
+  | Error _ -> false
   | Ok () -> (
       (* The PCB must arrive over a declared, up link from the sender, and
          the sender must have the expected topological role. *)
       match List.rev pcb.Pcb.entries with
-      | [] -> ()
+      | [] -> false
       | last :: _ -> (
           let nbr =
             List.find_opt
@@ -432,20 +514,43 @@ let receive t (receiver : node) ~(expected_role : role) pcb ~now store =
               receiver.nbrs
           in
           match nbr with
-          | None -> ()
-          | Some _ ->
+          | None -> false
+          | Some nb when quarantined receiver nb.n_ifid ~now ->
+              t.quarantine_drops <- t.quarantine_drops + 1;
+              (match t.obs with
+              | Some { o_quarantine_drops = Some c; _ } -> M.inc c
+              | Some _ | None -> ());
+              false
+          | Some nb ->
               let ok =
                 if t.cfg.verify_pcbs then begin
-                  match Pcb.verify pcb ~cache:t.cache ~lookup:(cert_lookup t) ~now with
-                  | Ok () -> true
-                  | Error _ ->
-                      t.verif_failures <- t.verif_failures + 1;
-                      (match t.obs with None -> () | Some o -> M.inc o.o_verif_failures);
-                      false
+                  (* Freshness first: a replayed beacon past its hop expiry
+                     is rejected even when its signatures still verify. *)
+                  let fresh = Pcb.expiry pcb > now in
+                  let valid =
+                    fresh
+                    &&
+                    match Pcb.verify pcb ~cache:t.cache ~lookup:(cert_lookup t) ~now with
+                    | Ok () -> true
+                    | Error _ -> false
+                  in
+                  if not valid then begin
+                    t.verif_failures <- t.verif_failures + 1;
+                    (match t.obs with None -> () | Some o -> M.inc o.o_verif_failures);
+                    strike t receiver nb ~now
+                  end;
+                  valid
                 end
                 else true
               in
-              if ok then ignore (Beacon_store.insert store pcb)))
+              if ok then
+                match Beacon_store.insert store pcb with
+                | Beacon_store.Added | Beacon_store.Replaced -> true
+                | Beacon_store.Rejected_full | Beacon_store.Rejected_duplicate -> false
+              else false))
+
+let receive t receiver ~expected_role pcb ~now store =
+  ignore (receive_pcb t receiver ~expected_role pcb ~now store)
 
 let send_once t ~sender ~egress ~kind pcb =
   (* Dedup log so each (pcb, link) pair is extended and delivered once; the
@@ -697,3 +802,220 @@ let state_bytes t ia =
   let acc = List.fold_left pcb_bytes acc (Beacon_store.all n.store_core) in
   let acc = List.fold_left pcb_bytes acc n.ups in
   List.fold_left pcb_bytes acc n.cores_terminated
+
+(* --- Containment state --- *)
+
+let quarantine_events t = t.quarantine_events
+let quarantine_drops t = t.quarantine_drops
+
+let quarantined_neighbors t ia ~now =
+  let n = node t ia in
+  List.filter_map
+    (fun nb -> if quarantined n nb.n_ifid ~now then Some (nb.n_ifid, nb.n_ia) else None)
+    n.nbrs
+
+(* --- TRC rotation drill --- *)
+
+let seed_str t = Int64.to_string t.cfg.seed
+
+let key_epoch t =
+  Scion_util.Table.fold_sorted
+    (fun isd (trc : Trc.t) acc ->
+      Printf.sprintf "%s%d:%d;" acc isd trc.Trc.serial)
+    t.trcs ""
+
+let rotations t = t.rotations
+let seized t ia = Hashtbl.mem t.seized ia
+
+let rotate_trc t ~isd ~now =
+  let prev = trc t isd in
+  let old_name, old_priv, _ =
+    match Hashtbl.find_opt t.roots isd with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "Mesh.rotate_trc: unknown ISD %d" isd)
+  in
+  t.rotations <- t.rotations + 1;
+  let gen = t.rotations in
+  let ten_years = 10.0 *. 365.0 *. 24.0 *. 3600.0 in
+  let root_name = Printf.sprintf "root-%d-r%d" isd gen in
+  let root_priv, root_pub =
+    Schnorr.derive ~seed:(Printf.sprintf "%s/root/%d/r%d" (seed_str t) isd gen)
+  in
+  let next =
+    match
+      Trc.update ~prev
+        ~rotate_roots:[ { Trc.name = root_name; key = root_pub } ]
+        ~validity:(now -. 1.0, now +. ten_years)
+        ~votes:[ (old_name, old_priv) ]
+        ()
+    with
+    | Ok next -> next
+    | Error e -> invalid_arg ("Mesh.rotate_trc: " ^ e)
+  in
+  Hashtbl.replace t.trcs isd next;
+  Hashtbl.replace t.roots isd (root_name, root_priv, root_pub);
+  (* Fresh CA keypair chained to the new root. *)
+  let old_ca = ca_for t.cas isd in
+  let ca_ia = Ca.ia old_ca in
+  let ca_profile = (Ca.ca_cert old_ca).Cert.profile in
+  let ca_priv, ca_pub =
+    Schnorr.derive ~seed:(Printf.sprintf "%s/ca/%d/r%d" (seed_str t) isd gen)
+  in
+  let ca_cert =
+    Cert.sign ~kind:Cert.Ca ~profile:ca_profile ~serial:(1 + gen) ~subject:ca_ia ~pubkey:ca_pub
+      ~validity:(now -. 1.0, now +. (ten_years /. 2.0))
+      ~issuer:ca_ia ~issuer_key_name:root_name ~issuer_priv:root_priv
+  in
+  Hashtbl.replace t.cas isd
+    (Ca.create ~ia:ca_ia ~priv:ca_priv ~cert:ca_cert ~default_validity:t.cfg.cert_validity ());
+  (* Re-issue every AS certificate in the ISD from the node's true key:
+     attacker-held identities are rotated out here. *)
+  let ca = ca_for t.cas isd in
+  List.iter
+    (fun ia ->
+      if ia.Ia.isd = isd then begin
+        Hashtbl.remove t.seized ia;
+        let n = node t ia in
+        n.cert <- Ca.issue ca ~subject:ia ~pubkey:n.pubkey ~profile:n.nd_profile ~now
+      end)
+    t.order;
+  (* Bind the signature cache to the new key epoch: verdicts produced
+     under the rotated-out (possibly compromised) root are dropped. *)
+  Sigcache.set_epoch t.cache (key_epoch t)
+
+(* --- Byzantine surface --- *)
+
+let seize_as t ~ia ~now =
+  let n = node t ia in
+  let atk_priv, atk_pub =
+    Schnorr.derive
+      ~seed:(Printf.sprintf "%s/attacker/%s/r%d" (seed_str t) (Ia.to_string ia) t.rotations)
+  in
+  let ca = ca_for t.cas ia.Ia.isd in
+  n.cert <- Ca.issue ca ~subject:ia ~pubkey:atk_pub ~profile:n.nd_profile ~now;
+  Hashtbl.replace t.seized ia atk_priv
+
+let signer_of t (n : node) =
+  match Hashtbl.find_opt t.seized n.nd_ia with Some atk -> atk | None -> n.signer
+
+let inject_pcb t ~receiver pcb ~now =
+  let n = node t receiver in
+  match List.rev pcb.Pcb.entries with
+  | [] -> false
+  | last :: _ -> (
+      let nbr =
+        List.find_opt
+          (fun nb ->
+            Ia.equal nb.n_ia last.Pcb.ia
+            && nb.n_remote_ifid = last.Pcb.hop.Scion_dataplane.Path.cons_egress
+            && t.link_arr.(nb.n_link).l_up)
+          n.nbrs
+      in
+      match nbr with
+      | None -> false
+      | Some nb -> (
+          match nb.n_role with
+          | Parent -> receive_pcb t n ~expected_role:Parent pcb ~now n.store_intra
+          | Core_nbr -> receive_pcb t n ~expected_role:Core_nbr pcb ~now n.store_core
+          | Child | Peer -> false))
+
+(* Flip one signature byte: structurally intact, cryptographically dead. *)
+let tamper_signature s =
+  if String.length s = 0 then "\x01"
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+    Bytes.to_string b
+  end
+
+let tamper_last_entry pcb =
+  match List.rev pcb.Pcb.entries with
+  | [] -> pcb
+  | last :: rest ->
+      let entries =
+        List.rev ({ last with Pcb.signature = tamper_signature last.Pcb.signature } :: rest)
+      in
+      { pcb with Pcb.entries }
+
+(* One single-entry beacon leaving [n] over [egress], signed by whoever
+   currently holds the AS identity (the attacker, after [seize_as]). *)
+let craft_beacon t (n : node) ~rng ~now ~egress =
+  let pcb = Pcb.originate ~rng ~now in
+  Pcb.extend pcb ~ia:n.nd_ia ~fwkey:n.fwkey ~signer:(signer_of t n) ~ingress:0 ~egress
+    ~peers:(peer_links_of n t) ~note:"byzantine" ~exp_time:t.cfg.exp_time ()
+
+let downstream_nbrs (n : node) t =
+  List.filter
+    (fun nb ->
+      (nb.n_role = Child || nb.n_role = Core_nbr) && t.link_arr.(nb.n_link).l_up)
+    n.nbrs
+
+let inject_corrupt_beacons t ~compromised ~rng ~now ~count =
+  let n = node t compromised in
+  let targets = downstream_nbrs n t in
+  if targets = [] then 0
+  else begin
+    let accepted = ref 0 in
+    for i = 0 to count - 1 do
+      let nb = List.nth targets (i mod List.length targets) in
+      (* A seized identity signs with the attacker's (certified) key, so
+         its corruption is the content, not the signature bytes; an
+         unseized attacker can only forge, which tampering models. *)
+      let pcb = craft_beacon t n ~rng ~now ~egress:nb.n_ifid in
+      let pcb = if Hashtbl.mem t.seized compromised then pcb else tamper_last_entry pcb in
+      if inject_pcb t ~receiver:nb.n_ia pcb ~now then incr accepted
+    done;
+    !accepted
+  end
+
+let inject_replayed_beacons t ~compromised ~rng ~now ~age_s ~count =
+  let n = node t compromised in
+  let targets = downstream_nbrs n t in
+  if targets = [] then 0
+  else begin
+    let accepted = ref 0 in
+    for i = 0 to count - 1 do
+      let nb = List.nth targets (i mod List.length targets) in
+      (* Validly signed at origination time, but [age_s] stale. *)
+      let pcb = craft_beacon t n ~rng ~now:(now -. age_s) ~egress:nb.n_ifid in
+      if inject_pcb t ~receiver:nb.n_ia pcb ~now then incr accepted
+    done;
+    !accepted
+  end
+
+(* A down-segment the byzantine AS writes straight into the registry: the
+   AS-level route reads as core -> victim, but every hop field is MACed
+   with the attacker's forwarding key, so the data plane rejects it at the
+   first honest router. Registration is unauthenticated (the modeled
+   path-server gap); containment is the daemon's poisoned-path feedback. *)
+let register_rogue_segments t ~compromised ~victim ~rng ~now ~count =
+  let atk = node t compromised in
+  let origin =
+    match down_segments t victim with
+    | pcb :: _ -> Pcb.origin pcb
+    | [] -> (
+        match List.find_opt (fun ia -> (node t ia).nd_core) t.order with
+        | Some ia -> ia
+        | None -> invalid_arg "Mesh.register_rogue_segments: no core AS")
+  in
+  let registered = ref 0 in
+  for _i = 1 to count do
+    let pcb = Pcb.originate ~rng ~now in
+    let pcb =
+      Pcb.extend pcb ~ia:origin ~fwkey:atk.fwkey ~signer:(signer_of t atk) ~ingress:0 ~egress:1
+        ~note:"rogue" ~exp_time:t.cfg.exp_time ()
+    in
+    let pcb =
+      Pcb.extend pcb ~ia:victim ~fwkey:atk.fwkey ~signer:(signer_of t atk) ~ingress:1 ~egress:0
+        ~note:"rogue" ~exp_time:t.cfg.exp_time ()
+    in
+    let existing =
+      match Hashtbl.find_opt t.down_registry victim with Some l -> l | None -> []
+    in
+    Hashtbl.replace t.down_registry victim (pcb :: existing);
+    incr registered
+  done;
+  (* The path memo predates the poisoning; invalidate it so lookups see
+     the registry as it now stands. *)
+  if !registered > 0 then t.generation <- t.generation + 1;
+  !registered

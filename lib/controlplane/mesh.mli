@@ -45,9 +45,29 @@ type config = {
           [combinator.memo_hit]/[combinator.memo_miss]) into [?metrics].
           Off by default so existing figures' telemetry stays
           byte-identical. *)
+  quarantine : quarantine_policy option;
+      (** Beacon-origin containment: with [Some p], a neighbor interface
+          whose beacons keep failing verification is quarantined for an
+          exponentially growing window (see {!quarantine_policy}). [None]
+          (the default) processes every arrival, the historic behaviour.
+          When set together with [?metrics], the mesh also publishes
+          [mesh.quarantine_events] / [mesh.quarantine_drops]. *)
+}
+
+and quarantine_policy = {
+  q_threshold : int;
+      (** Verification failures from one neighbor interface before it is
+          quarantined (strikes reset when the window opens). *)
+  q_backoff : Scion_util.Backoff.policy;
+      (** Window growth per repeat offence ([delay_ms ~attempt:offences]).
+          Must use zero jitter if attaching an adversary is to leave every
+          workload RNG stream untouched — {!default_quarantine} does. *)
 }
 
 val default_config : config
+
+val default_quarantine : quarantine_policy
+(** 3 strikes; windows 5 s doubling to 120 s, zero jitter. *)
 
 type t
 
@@ -189,5 +209,81 @@ val renew_certificates : t -> now:float -> int
     one. Returns the number of renewals performed. *)
 
 val verification_failures : t -> int
-(** PCBs rejected because signature verification failed (tamper or expired
-    certificate), for observability. *)
+(** PCBs rejected because signature verification failed (tamper, expired
+    certificate, or a stale replay past its hop expiry), for
+    observability. *)
+
+(** {1 Containment}
+
+    The defence half of the adversarial tier: per-neighbor quarantine
+    state and the TRC-rotation drill. *)
+
+val quarantine_events : t -> int
+(** Times any neighbor interface entered quarantine (0 without
+    [config.quarantine]). *)
+
+val quarantine_drops : t -> int
+(** Beacons skipped because their arrival interface was quarantined. *)
+
+val quarantined_neighbors : t -> Ia.t -> now:float -> (int * Ia.t) list
+(** The (local interface, neighbor) pairs of [ia] currently inside a
+    quarantine window. *)
+
+val rotate_trc : t -> isd:int -> now:float -> unit
+(** Emergency key-rotation drill for one ISD: vote in a successor TRC with
+    a fresh root (signed by the previous root, per TRC chaining), stand up
+    a fresh CA chained to it, re-issue every AS certificate in the ISD
+    from the node's true key (evicting any attacker-held identity
+    installed by {!seize_as}), and re-bind the signature cache to the new
+    key epoch so cached verdicts from the old root are dropped. *)
+
+val rotations : t -> int
+(** TRC rotations performed so far (across all ISDs). *)
+
+val key_epoch : t -> string
+(** The current key epoch: every ISD's [isd:serial] pair, sorted. *)
+
+(** {1 Byzantine surface}
+
+    What a compromised AS can do to the mesh. These model the attacker's
+    reach — nothing in the honest control plane calls them — and each
+    draws only from the [rng] handed in, conventionally the dedicated
+    [fault.adv] stream. *)
+
+val seize_as : t -> ia:Ia.t -> now:float -> unit
+(** CA-compromise model: the attacker uses the ISD's (compromised) CA to
+    issue itself a certificate for [ia] and takes over the AS identity —
+    beacons it signs from [ia] now verify. Undone by {!rotate_trc}. *)
+
+val seized : t -> Ia.t -> bool
+
+(* scion-lint: rng-stream fault.adv -- attack payload draws come from the adversary stream *)
+val inject_corrupt_beacons :
+  t -> compromised:Ia.t -> rng:Scion_util.Rng.t -> now:float -> count:int -> int
+(** Inject [count] malformed PCBs (one flipped signature byte) from
+    [compromised] at its downstream neighbors, round-robin. Returns how
+    many were accepted into a beacon store — 0 whenever verification is
+    on, unless the identity was seized. *)
+
+(* scion-lint: rng-stream fault.adv -- attack payload draws come from the adversary stream *)
+val inject_replayed_beacons :
+  t -> compromised:Ia.t -> rng:Scion_util.Rng.t -> now:float -> age_s:float -> count:int -> int
+(** Inject [count] stale PCBs originated [age_s] seconds ago with valid
+    signatures. Accepted unless verification's freshness check rejects
+    them (it does once [age_s] exceeds the hop expiry). *)
+
+(* scion-lint: rng-stream fault.adv -- attack payload draws come from the adversary stream *)
+val register_rogue_segments :
+  t -> compromised:Ia.t -> victim:Ia.t -> rng:Scion_util.Rng.t -> now:float -> count:int -> int
+(** Byzantine down-segment registration: write [count] bogus segments for
+    [victim] into the registry (registration is unauthenticated, the
+    modeled path-server gap). Their AS-level route joins real up/core
+    segments, but every hop field is MACed with the attacker's key, so
+    honest routers drop the traffic — poisoned paths are served until the
+    daemon's feedback loop revokes them. Invalidates the {!paths} memo. *)
+
+val inject_pcb : t -> receiver:Ia.t -> Pcb.t -> now:float -> bool
+(** Deliver one PCB at [receiver] through the normal acceptance pipeline
+    (arrival-link match, quarantine, verification, store insert); the
+    arrival link and expected role are inferred from the PCB's last entry.
+    Returns whether it was accepted. *)

@@ -1,18 +1,32 @@
 type t = {
   table : (string, bool) Hashtbl.t;
+  mutable epoch : string;
   mutable hit_count : int;
   mutable miss_count : int;
 }
 
-let create () = { table = Hashtbl.create 1024; hit_count = 0; miss_count = 0 }
+let create () = { table = Hashtbl.create 1024; epoch = ""; hit_count = 0; miss_count = 0 }
 let global = create ()
 
-let cache_key pub ~msg ~signature =
+(* The key epoch is mixed into every cache key, so entries verified under
+   a rotated-out trust root can never answer lookups made after the
+   rotation — even if a stale reference to the old table survived. *)
+let cache_key t pub ~msg ~signature =
   Scion_crypto.Sha256.digest
-    (Scion_crypto.Schnorr.public_to_string pub ^ signature ^ Scion_crypto.Sha256.digest msg)
+    (t.epoch ^ "\x00" ^ Scion_crypto.Schnorr.public_to_string pub ^ signature
+   ^ Scion_crypto.Sha256.digest msg)
+
+let set_epoch t epoch =
+  if not (String.equal t.epoch epoch) then begin
+    t.epoch <- epoch;
+    (* The old epoch's entries are unreachable; drop them eagerly. *)
+    Hashtbl.reset t.table
+  end
+
+let epoch t = t.epoch
 
 let verify t pub ~msg ~signature =
-  let key = cache_key pub ~msg ~signature in
+  let key = cache_key t pub ~msg ~signature in
   match Hashtbl.find_opt t.table key with
   | Some v ->
       t.hit_count <- t.hit_count + 1;
@@ -30,7 +44,7 @@ let verify t pub ~msg ~signature =
 let verify_batch t items =
   let keyed =
     List.map
-      (fun (pub, msg, signature) -> (cache_key pub ~msg ~signature, pub, msg, signature))
+      (fun (pub, msg, signature) -> (cache_key t pub ~msg ~signature, pub, msg, signature))
       items
   in
   let pending = Hashtbl.create 16 in

@@ -12,6 +12,16 @@ val create : unit -> t
 val global : t
 (** A process-wide cache used by default. *)
 
+val set_epoch : t -> string -> unit
+(** Bind the cache to a key epoch — canonically the concatenation of every
+    trusted TRC's [isd:serial] pair. The epoch is mixed into every cache
+    key and changing it drops all entries, so verdicts produced under a
+    rotated-out (possibly compromised) trust root cannot keep validating
+    signatures after a TRC update. Setting the current epoch is a no-op. *)
+
+val epoch : t -> string
+(** The current key epoch ([""] until {!set_epoch} is called). *)
+
 val verify :
   t -> Scion_crypto.Schnorr.public_key -> msg:string -> signature:string -> bool
 

@@ -90,7 +90,7 @@ let set_day t day =
 
 let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true)
     ?(topology = Topology.sciera) ?(rounds = 10) ?propagate_k ?fanout_cap
-    ?(scale_obs = false) ?telemetry () =
+    ?(scale_obs = false) ?quarantine ?telemetry () =
   let config =
     {
       Mesh.default_config with
@@ -101,6 +101,7 @@ let create ?(seed = 0x5C1E_7A5EL) ?(per_origin = 20) ?(verify_pcbs = true)
       verify_pcbs;
       fanout_cap;
       scale_obs;
+      quarantine;
     }
   in
   let ases =
@@ -249,6 +250,207 @@ let apply_fault t op =
 
 let inject t ~engine ~rng scenario =
   Fault.Injector.attach ~engine ~rng ~apply:(apply_fault t) scenario
+
+(* --- Adversary interpretation ---------------------------------------- *)
+
+type adversary_stats = {
+  mutable adv_injected : int;
+  mutable adv_accepted : int;
+  mutable adv_last_accept_s : float;
+  mutable adv_rogue : int;
+  mutable adv_forged_sent : int;
+  mutable adv_forged_delivered : int;
+  mutable adv_reflect_requests : int;
+  mutable adv_reflect_answered : int;
+  mutable adv_amp_bytes : int;
+  mutable adv_flood_frames : int;
+  mutable adv_flood_passed : int;
+  mutable adv_wormholes : (Ia.t * Ia.t) list;
+  mutable adv_seized : Ia.t list;
+}
+
+let wormhole_active stats ~a ~b =
+  List.exists
+    (fun (x, y) ->
+      (Ia.equal x a && Ia.equal y b) || (Ia.equal x b && Ia.equal y a))
+    stats.adv_wormholes
+
+(* The reflected echo an SCMP amplifier bounces at its victim: maximum
+   padding, the attacker's whole point. *)
+let reflect_reply_bytes =
+  let module Scmp = Scion_dataplane.Scmp in
+  lazy
+    (String.length
+       (Scmp.encode (Scmp.Echo_reply { id = 0xDD05; seq = 0; data = String.make 1024 'R' })))
+
+(* Interpret one adversary op against the live network. [defended] arms
+   the data-plane half of the containment story: a LightningFilter in
+   front of flood targets and the SCMP emission throttle on reflectors
+   (the control-plane half — verification, quarantine, rotation — is
+   configured at {!create} time via [verify_pcbs]/[?quarantine]). *)
+let attach_adversary t ~engine ~rng ?(defended = false) adversary =
+  let stats =
+    {
+      adv_injected = 0;
+      adv_accepted = 0;
+      adv_last_accept_s = Float.neg_infinity;
+      adv_rogue = 0;
+      adv_forged_sent = 0;
+      adv_forged_delivered = 0;
+      adv_reflect_requests = 0;
+      adv_reflect_answered = 0;
+      adv_amp_bytes = 0;
+      adv_flood_frames = 0;
+      adv_flood_passed = 0;
+      adv_wormholes = [];
+      adv_seized = [];
+    }
+  in
+  let now () = now_unix t +. Netsim.Engine.now engine in
+  let sim_now () = Netsim.Engine.now engine in
+  (* Per-target LightningFilter (defended mode): allows the target's real
+     neighbors, so the flood must spoof one of them. *)
+  let filters : (Ia.t, Science_dmz.Filter.t) Hashtbl.t = Hashtbl.create 4 in
+  let filter_for target =
+    match Hashtbl.find_opt filters target with
+    | Some f -> f
+    | None ->
+        let allowed =
+          List.map (fun (_, nbr, _) -> (nbr, 100_000.0)) (Mesh.neighbors t.mesh target)
+        in
+        let f =
+          Science_dmz.Filter.create
+            ~local_secret:("dmz/" ^ Ia.to_string target ^ "/" ^ Int64.to_string (Mesh.config t.mesh).Mesh.seed)
+            ~allowed ()
+        in
+        Hashtbl.replace filters target f;
+        f
+  in
+  let limited : (Ia.t, unit) Hashtbl.t = Hashtbl.create 4 in
+  let arm_limiter reflector =
+    if defended && not (Hashtbl.mem limited reflector) then begin
+      Hashtbl.replace limited reflector ();
+      Scion_dataplane.Router.configure_scmp_limiter (Mesh.router t.mesh reflector)
+        ~budget_bytes_per_s:2048.0 ()
+    end
+  in
+  let module Packet = Scion_dataplane.Packet in
+  let accepted_bogus n =
+    if n > 0 then begin
+      stats.adv_accepted <- stats.adv_accepted + n;
+      stats.adv_last_accept_s <- sim_now ()
+    end
+  in
+  let apply (op : Fault.Adversary.op) =
+    match op with
+    | Fault.Adversary.Corrupt_beacons { compromised; count } ->
+        stats.adv_injected <- stats.adv_injected + count;
+        accepted_bogus (Mesh.inject_corrupt_beacons t.mesh ~compromised ~rng ~now:(now ()) ~count)
+    | Fault.Adversary.Replay_beacons { compromised; age_s; count } ->
+        stats.adv_injected <- stats.adv_injected + count;
+        accepted_bogus
+          (Mesh.inject_replayed_beacons t.mesh ~compromised ~rng ~now:(now ()) ~age_s ~count)
+    | Fault.Adversary.Forge_hop_macs { compromised; count } ->
+        let others =
+          List.filter (fun ia -> not (Ia.equal ia compromised)) (Mesh.ases t.mesh)
+        in
+        if others <> [] then
+          for _i = 1 to count do
+            let dst = List.nth others (Rng.int rng (List.length others)) in
+            match Mesh.paths t.mesh ~src:compromised ~dst with
+            | [] -> ()
+            | fp :: _ -> (
+                stats.adv_forged_sent <- stats.adv_forged_sent + 1;
+                (* A real path with one attacker-chosen hop field: flip a
+                   MAC byte in place through the wire view. *)
+                let pkt =
+                  Packet.make ~proto:Packet.Udp
+                    ~src:(compromised, Packet.Ipv4 (Scion_addr.Ipv4.of_string "10.66.0.1"))
+                    ~dst:(dst, Packet.Ipv4 (Scion_addr.Ipv4.of_string "10.0.0.2"))
+                    ~path:(Packet.Standard (Combinator.fresh_raw fp))
+                    "forged-hop-field"
+                in
+                let v = Packet.View.of_string (Packet.encode pkt) in
+                let off = Packet.View.curr_mac_off v in
+                let buf = Packet.View.buffer v in
+                Bytes.set buf off (Char.chr (Char.code (Bytes.get buf off) lxor 0xff));
+                match Mesh.walk_packet t.mesh ~now:(now ()) ~from:compromised (Packet.View.to_packet v) with
+                | Mesh.Walk_delivered _ ->
+                    stats.adv_forged_delivered <- stats.adv_forged_delivered + 1
+                | Mesh.Walk_dropped _ -> ())
+          done
+    | Fault.Adversary.Rogue_segments { compromised; victim; count } ->
+        let n =
+          Mesh.register_rogue_segments t.mesh ~compromised ~victim ~rng ~now:(now ()) ~count
+        in
+        stats.adv_rogue <- stats.adv_rogue + n;
+        (* The mesh memo was invalidated; this cache sits above it. *)
+        Hashtbl.reset t.path_cache
+    | Fault.Adversary.Wormhole_up { a; b } ->
+        if not (wormhole_active stats ~a ~b) then
+          stats.adv_wormholes <- (a, b) :: stats.adv_wormholes
+    | Fault.Adversary.Wormhole_down { a; b } ->
+        stats.adv_wormholes <-
+          List.filter
+            (fun (x, y) ->
+              not ((Ia.equal x a && Ia.equal y b) || (Ia.equal x b && Ia.equal y a)))
+            stats.adv_wormholes
+    | Fault.Adversary.Scmp_reflect { reflector; victim = _; count } ->
+        arm_limiter reflector;
+        let r = Mesh.router t.mesh reflector in
+        let bytes = Lazy.force reflect_reply_bytes in
+        for _i = 1 to count do
+          stats.adv_reflect_requests <- stats.adv_reflect_requests + 1;
+          if Scion_dataplane.Router.scmp_allow r ~now:(sim_now ()) ~bytes then begin
+            stats.adv_reflect_answered <- stats.adv_reflect_answered + 1;
+            stats.adv_amp_bytes <- stats.adv_amp_bytes + bytes
+          end
+        done
+    | Fault.Adversary.Volumetric_flood { attacker = _; target; packets; duplicate_pct } ->
+        stats.adv_flood_frames <- stats.adv_flood_frames + packets;
+        if not defended then stats.adv_flood_passed <- stats.adv_flood_passed + packets
+        else begin
+          let f = filter_for target in
+          let spoofed =
+            match Mesh.neighbors t.mesh target with
+            | (_, nbr, _) :: _ -> nbr
+            | [] -> target
+          in
+          let dups = packets * duplicate_pct / 100 in
+          let captured_payload = "captured-genuine-frame" in
+          let captured_tag =
+            Science_dmz.Filter.authenticate
+              ~key:(Science_dmz.Filter.host_key f ~peer:spoofed)
+              ~payload:captured_payload
+          in
+          let frames =
+            List.init packets (fun i ->
+                if i < dups then (spoofed, captured_payload, captured_tag)
+                else
+                  (* Spoofed source, garbage MAC: the attacker has no
+                     DRKey, only random bytes. *)
+                  (spoofed, Printf.sprintf "junk-%d" i, Printf.sprintf "%016x" (Rng.int rng 0x3FFFFFFF)))
+          in
+          List.iter
+            (fun verdict ->
+              if verdict = Science_dmz.Filter.Accepted then
+                stats.adv_flood_passed <- stats.adv_flood_passed + 1)
+            (Science_dmz.Filter.check_batch f ~now:(sim_now ()) frames)
+        end
+    | Fault.Adversary.Trc_compromise { isd } -> (
+        match
+          List.find_opt
+            (fun (ia : Ia.t) -> ia.Ia.isd = isd && Mesh.is_core t.mesh ia)
+            (Mesh.ases t.mesh)
+        with
+        | None -> invalid_arg (Printf.sprintf "Network adversary: no core AS in ISD %d" isd)
+        | Some victim ->
+            Mesh.seize_as t.mesh ~ia:victim ~now:(now ());
+            stats.adv_seized <- victim :: stats.adv_seized)
+    | Fault.Adversary.Trc_rotate { isd } -> Mesh.rotate_trc t.mesh ~isd ~now:(now ())
+  in
+  let inj = Fault.Injector.attach_adversary ~engine ~rng ~apply adversary in
+  (inj, stats)
 
 let paths t ~src ~dst =
   let key = Ia.to_string src ^ ">" ^ Ia.to_string dst in

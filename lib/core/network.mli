@@ -20,6 +20,7 @@ val create :
   ?propagate_k:int ->
   ?fanout_cap:int ->
   ?scale_obs:bool ->
+  ?quarantine:Mesh.quarantine_policy ->
   ?telemetry:Obs.t ->
   unit ->
   t
@@ -32,6 +33,9 @@ val create :
     and [?propagate_k] tune beaconing (defaults 10 and [per_origin]);
     [?fanout_cap] and [?scale_obs] forward to
     {!Scion_controlplane.Mesh.config} for large generated meshes.
+    [?quarantine] arms per-neighbor beacon-origin containment
+    ({!Scion_controlplane.Mesh.quarantine_policy}); omitted means no
+    quarantine, the historic behaviour.
     [?telemetry] threads a metrics registry through the mesh (beacon
     stores, border routers) and installs link monitors on both fabrics
     (names ["scion"] and ["ip"]). *)
@@ -68,6 +72,54 @@ val inject :
     [Rng.of_label seed "fault"]), never the network's workload stream —
     then attaching any scenario leaves every workload draw, and therefore
     every pre-existing figure golden, byte-identical. *)
+
+(** {1 Adversary interpretation}
+
+    The byzantine twin of {!inject}: a declarative {!Fault.Adversary}
+    campaign compiled onto the engine, each op interpreted against this
+    network's mesh, routers and filters. *)
+
+type adversary_stats = {
+  mutable adv_injected : int;  (** Bogus PCBs pushed at honest stores. *)
+  mutable adv_accepted : int;  (** ... of which a store accepted. *)
+  mutable adv_last_accept_s : float;
+      (** Engine time of the last acceptance ([neg_infinity] if none) —
+          the containment probe: once defences bite, this stops moving
+          while the campaign keeps firing. *)
+  mutable adv_rogue : int;  (** Rogue down-segments registered. *)
+  mutable adv_forged_sent : int;  (** Forged-MAC packets launched. *)
+  mutable adv_forged_delivered : int;  (** ... delivered (0 is the claim). *)
+  mutable adv_reflect_requests : int;  (** Spoofed echo requests. *)
+  mutable adv_reflect_answered : int;  (** Replies actually emitted. *)
+  mutable adv_amp_bytes : int;  (** Amplification bytes at the victim. *)
+  mutable adv_flood_frames : int;  (** Flood frames launched. *)
+  mutable adv_flood_passed : int;  (** ... that reached the host. *)
+  mutable adv_wormholes : (Ia.t * Ia.t) list;  (** Active colluding pairs. *)
+  mutable adv_seized : Ia.t list;  (** Identities taken via CA compromise. *)
+}
+
+val wormhole_active : adversary_stats -> a:Ia.t -> b:Ia.t -> bool
+
+(* scion-lint: rng-stream fault.adv -- campaign elaboration and attack payload draws use only the adversary stream *)
+val attach_adversary :
+  t ->
+  engine:Netsim.Engine.t ->
+  rng:Scion_util.Rng.t ->
+  ?defended:bool ->
+  Fault.Adversary.t ->
+  Fault.Injector.adv * adversary_stats
+(** Attach an adversary campaign. Same determinism contract as {!inject}:
+    [rng] must be the dedicated adversary stream
+    ([Rng.of_label seed "fault.adv"]) and then attaching perturbs no
+    workload draw. [~defended:true] (default false) arms the data-plane
+    defences — a LightningFilter in front of each flood target (allowing
+    the target's real neighbors, so the flood must spoof one and fails
+    MAC verification) and a 2 KiB/s SCMP emission throttle on reflectors.
+    The control-plane defences are create-time choices: [~verify_pcbs],
+    [?quarantine], and operator drills ([Trc_rotate]) in the campaign
+    itself. Beacon injections land through the mesh acceptance pipeline;
+    rogue registrations drop both the mesh path memo and this network's
+    cache. *)
 
 val paths : t -> src:Ia.t -> dst:Ia.t -> Combinator.fullpath list
 (** Control-plane paths under the current epoch (memoised per epoch). *)

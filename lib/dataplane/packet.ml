@@ -209,6 +209,15 @@ module View = struct
      a defensive copy is safe: nothing else can observe the mutation. *)
   let of_packet p = of_bytes (Bytes.unsafe_of_string (encode p))
   let of_string s = of_bytes (Bytes.of_string s)
+
+  (* Total hardening wrapper for untrusted wire bytes: every structural
+     rejection comes back as a verdict, never an exception, so a router
+     front-end can drop malformed frames without an exception handler on
+     its receive loop. *)
+  let validate s =
+    match of_string s with
+    | v -> Ok v
+    | exception Malformed reason -> Error reason
   let contents v = Bytes.to_string v.buf
   let to_packet v = decode (Bytes.to_string v.buf)
   let has_path v = v.nsegs > 0

@@ -81,6 +81,13 @@ module View : sig
   val of_string : string -> view
   (** Copying variant of {!of_bytes}. *)
 
+  val validate : string -> (view, string) result
+  (** Exception-free acceptance of untrusted wire bytes: [Ok] is a view
+      over a private copy, [Error] carries the structural rejection
+      reason. Exactly the inputs {!decode} accepts validate — truncations,
+      bad meta, out-of-range positions and length mismatches all come
+      back as [Error], never as a raise. *)
+
   val to_packet : view -> t
   (** Full decode of the current buffer state (delivery path). *)
 

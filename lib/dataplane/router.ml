@@ -80,6 +80,18 @@ type obs = {
   o_tx : (int * M.counter) list;
 }
 
+(* SCMP emission throttle: a per-second byte budget, so error traffic — an
+   amplification vector when sources are spoofed — is bounded no matter the
+   inbound rate. Sits outside the forwarding hotpath. *)
+type scmp_limiter = {
+  sl_budget : float;  (* bytes per one-second window *)
+  mutable sl_window : float;  (* start of the current window *)
+  mutable sl_spent : int;
+  mutable sl_limited : int;  (* messages suppressed *)
+  mutable sl_limited_bytes : int;
+  sl_obs : (M.counter * M.counter) option;
+}
+
 type t = {
   ia : Scion_addr.Ia.t;
   ia_isd : int;  (* ia, pre-split into ints for allocation-free comparison *)
@@ -90,6 +102,7 @@ type t = {
   stats : counters;
   obs : obs option;
   mutable last_drop : drop_reason;  (* reason behind the last [drop_v] verdict *)
+  mutable scmp_limiter : scmp_limiter option;
 }
 
 let make_obs registry ~ia ~ifids =
@@ -136,6 +149,7 @@ let create ?metrics ~ia ~key ~ifaces () =
     stats = { forwarded = 0; delivered = 0; dropped = 0; mac_failures = 0 };
     obs = Option.map (fun registry -> make_obs registry ~ia ~ifids) metrics;
     last_drop = Not_for_us;
+    scmp_limiter = None;
   }
 
 let ia t = t.ia
@@ -252,6 +266,63 @@ let scmp_answer t = function
   | Invalid_mac -> Some Scmp.Invalid_hop_field_mac
   | Not_for_us -> Some Scmp.Destination_unreachable
   | Ingress_mismatch _ | Path_malformed _ -> None
+
+let configure_scmp_limiter t ?metrics ~budget_bytes_per_s () =
+  if not (Float.is_finite budget_bytes_per_s) || budget_bytes_per_s <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Router.configure_scmp_limiter: budget must be > 0 (got %g)"
+         budget_bytes_per_s);
+  let labels = [ ("ia", Scion_addr.Ia.to_string t.ia) ] in
+  t.scmp_limiter <-
+    Some
+      {
+        sl_budget = budget_bytes_per_s;
+        sl_window = neg_infinity;
+        sl_spent = 0;
+        sl_limited = 0;
+        sl_limited_bytes = 0;
+        sl_obs =
+          Option.map
+            (fun registry ->
+              ( M.counter registry ~labels "scmp.rate_limited",
+                M.counter registry ~labels "scmp.rate_limited_bytes" ))
+            metrics;
+      }
+
+let scmp_allow t ~now ~bytes =
+  match t.scmp_limiter with
+  | None -> true
+  | Some sl ->
+      if now >= sl.sl_window +. 1.0 then begin
+        sl.sl_window <- Float.of_int (int_of_float now);
+        sl.sl_spent <- 0
+      end;
+      if float_of_int (sl.sl_spent + bytes) <= sl.sl_budget then begin
+        sl.sl_spent <- sl.sl_spent + bytes;
+        true
+      end
+      else begin
+        sl.sl_limited <- sl.sl_limited + 1;
+        sl.sl_limited_bytes <- sl.sl_limited_bytes + bytes;
+        (match sl.sl_obs with
+        | Some (c_msgs, c_bytes) ->
+            M.inc c_msgs;
+            M.add c_bytes bytes
+        | None -> ());
+        false
+      end
+
+let scmp_answer_limited t ~now reason =
+  match scmp_answer t reason with
+  | None -> None
+  | Some msg ->
+      let bytes = String.length (Scmp.encode msg) in
+      if scmp_allow t ~now ~bytes then Some msg else None
+
+let scmp_rate_limited t =
+  match t.scmp_limiter with
+  | None -> (0, 0)
+  | Some sl -> (sl.sl_limited, sl.sl_limited_bytes)
 
 (* scion-lint: hotpath -- the per-packet forwarding entry point *)
 let process t ~now ~ingress pkt =

@@ -88,6 +88,30 @@ val scmp_answer : t -> drop_reason -> Scmp.t option
     [Path_malformed] get no reply ([None]): answering an unverifiable
     packet would make the router an amplifier. *)
 
+val configure_scmp_limiter :
+  t -> ?metrics:Telemetry.Metrics.registry -> budget_bytes_per_s:float -> unit -> unit
+(** Arm the SCMP emission throttle: at most [budget_bytes_per_s] bytes of
+    error/echo traffic per one-second window, counted against the
+    simulated clock passed to {!scmp_allow}. Without it (the default)
+    emission is unlimited, the historic behaviour. With [?metrics] the
+    suppressions are published as [scmp.rate_limited{ia}] /
+    [scmp.rate_limited_bytes{ia}]. Raises [Invalid_argument] on a
+    non-positive budget. *)
+
+val scmp_allow : t -> now:float -> bytes:int -> bool
+(** Account [bytes] of would-be SCMP emission against the budget window
+    containing [now]; [false] means the message must be suppressed (and
+    was counted). Always [true] when no limiter is configured. *)
+
+val scmp_answer_limited : t -> now:float -> drop_reason -> Scmp.t option
+(** {!scmp_answer} gated by the throttle: the encoded reply's bytes are
+    charged via {!scmp_allow}, and a budget miss turns the answer into
+    silence. *)
+
+val scmp_rate_limited : t -> int * int
+(** (messages, bytes) suppressed by the throttle so far ([0, 0] when none
+    is configured). *)
+
 type counters = {
   mutable forwarded : int;
   mutable delivered : int;

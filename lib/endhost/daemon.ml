@@ -17,10 +17,12 @@ type t = {
   retry : (Scion_util.Backoff.policy * Scion_util.Rng.t) option;
   cache : (Ia.t, cache_entry) Hashtbl.t;
   revoked : (string, float) Hashtbl.t;  (** "ia#ifid" -> active until *)
+  poisoned : (string, float) Hashtbl.t;  (** path fingerprint -> active until *)
   trcs : (int, Scion_cppki.Trc.t) Hashtbl.t;
   mutable hit_count : int;
   mutable miss_count : int;
   mutable revocation_count : int;
+  mutable poisoned_count : int;
   mutable evicted_count : int;
   mutable fetch_attempts : int;
   mutable fetch_wait_ms : float;
@@ -52,10 +54,12 @@ let create ~ia ~fetch ?(cache_ttl = 300.0) ?(expiry_margin = 60.0) ?(revocation_
     retry;
     cache = Hashtbl.create 32;
     revoked = Hashtbl.create 8;
+    poisoned = Hashtbl.create 8;
     trcs = Hashtbl.create 4;
     hit_count = 0;
     miss_count = 0;
     revocation_count = 0;
+    poisoned_count = 0;
     evicted_count = 0;
     fetch_attempts = 0;
     fetch_wait_ms = 0.0;
@@ -104,10 +108,19 @@ let fetch_paths t ~dst =
           t.fetch_attempts <- t.fetch_attempts + give_up.Scion_util.Backoff.attempts;
           [])
 
+let path_poisoned t ~now (p : Combinator.fullpath) =
+  Hashtbl.length t.poisoned > 0
+  &&
+  match Hashtbl.find_opt t.poisoned p.Combinator.fingerprint with
+  | Some until -> until > now
+  | None -> false
+
 let usable t ~now paths =
   List.filter
     (fun p ->
-      p.Combinator.expiry > now +. t.expiry_margin && not (crosses_revoked t ~now p))
+      p.Combinator.expiry > now +. t.expiry_margin
+      && (not (crosses_revoked t ~now p))
+      && not (path_poisoned t ~now p))
     paths
 
 let lookup t ~now ~dst =
@@ -166,16 +179,43 @@ let revoke t ~now ~ia:rev_ia ~ifid =
   t.evicted_count <- t.evicted_count + evicted_total;
   evicted_total
 
-let handle_scmp t ~now msg =
+(* MAC-verification feedback: a path whose traffic dies with
+   Invalid_hop_field_mac was served from poisoned control-plane state
+   (e.g. a rogue down-segment). Revoke it by fingerprint — the interface
+   set may be entirely fictional, so interface revocation cannot help. *)
+let report_poisoned t ~now (p : Combinator.fullpath) =
+  t.poisoned_count <- t.poisoned_count + 1;
+  Hashtbl.replace t.poisoned p.Combinator.fingerprint (now +. t.revocation_ttl);
+  match Hashtbl.find_opt t.cache p.Combinator.dst with
+  | None -> 0
+  | Some entry ->
+      let keep, evicted =
+        List.partition
+          (fun (q : Combinator.fullpath) ->
+            not (String.equal q.Combinator.fingerprint p.Combinator.fingerprint))
+          entry.paths
+      in
+      (match keep with
+      | [] ->
+          let paths = fetch_paths t ~dst:p.Combinator.dst in
+          Hashtbl.replace t.cache p.Combinator.dst { paths; fetched_at = now }
+      | _ :: _ -> Hashtbl.replace t.cache p.Combinator.dst { paths = keep; fetched_at = now });
+      let n = List.length evicted in
+      t.evicted_count <- t.evicted_count + n;
+      n
+
+let handle_scmp t ~now ?path msg =
   match msg with
   | Scion_dataplane.Scmp.External_interface_down { ia = rev_ia; ifid } ->
       Some (revoke t ~now ~ia:rev_ia ~ifid)
+  | Scion_dataplane.Scmp.Invalid_hop_field_mac -> (
+      match path with Some p -> Some (report_poisoned t ~now p) | None -> None)
   | Scion_dataplane.Scmp.Echo_request _ | Scion_dataplane.Scmp.Echo_reply _
-  | Scion_dataplane.Scmp.Destination_unreachable | Scion_dataplane.Scmp.Expired_hop_field
-  | Scion_dataplane.Scmp.Invalid_hop_field_mac ->
+  | Scion_dataplane.Scmp.Destination_unreachable | Scion_dataplane.Scmp.Expired_hop_field ->
       None
 
 let revocations t = t.revocation_count
+let poisoned_revocations t = t.poisoned_count
 let evicted_paths t = t.evicted_count
 let fetch_attempts t = t.fetch_attempts
 let fetch_wait_ms t = t.fetch_wait_ms

@@ -57,10 +57,21 @@ val revoke : t -> now:float -> ia:Scion_addr.Ia.t -> ifid:int -> int
     crosses the interface, and eagerly re-fetches destinations whose
     cached set was emptied. Returns the number of evicted paths. *)
 
-val handle_scmp : t -> now:float -> Scion_dataplane.Scmp.t -> int option
+val report_poisoned : t -> now:float -> Scion_controlplane.Combinator.fullpath -> int
+(** MAC-verification feedback: traffic sent over [path] died with an
+    invalid-hop-field-MAC error, so the path was served from poisoned
+    control-plane state (e.g. a rogue down-segment registration). Revokes
+    the path by fingerprint for [revocation_ttl] seconds — its interfaces
+    may be entirely fictional, so interface revocation cannot express
+    this — evicts it from the cache, and re-fetches the destination if
+    that emptied its entry. Returns the number of evicted paths. *)
+
+val handle_scmp :
+  t -> now:float -> ?path:Scion_controlplane.Combinator.fullpath -> Scion_dataplane.Scmp.t -> int option
 (** Dispatch an SCMP message: [External_interface_down] triggers
-    {!revoke} (returning [Some evicted]); every other message is ignored
-    ([None]). *)
+    {!revoke} (returning [Some evicted]); [Invalid_hop_field_mac] with
+    [?path] (the path the failed probe travelled) triggers
+    {!report_poisoned}; every other message is ignored ([None]). *)
 
 val flush : t -> unit
 val cache_entries : t -> int
@@ -69,6 +80,9 @@ val misses : t -> int
 
 val revocations : t -> int
 (** Revocations learnt via {!revoke} (including re-announcements). *)
+
+val poisoned_revocations : t -> int
+(** Paths revoked by fingerprint via {!report_poisoned}. *)
 
 val evicted_paths : t -> int
 (** Total cached paths evicted by revocations. *)

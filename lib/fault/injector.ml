@@ -42,3 +42,22 @@ let attach_net ~engine ~rng ~net ?(on_op = fun _ -> ()) scenario =
 let events t = t.events
 let fired t = t.fired
 let control_up t = t.control
+
+type adv = {
+  adv_events : Adversary.event list;
+  mutable adv_fired : int;
+}
+
+let attach_adversary ~engine ~rng ~apply adversary =
+  let adv_events = Adversary.elaborate adversary ~rng in
+  let t = { adv_events; adv_fired = 0 } in
+  List.iter
+    (fun (ev : Adversary.event) ->
+      Engine.schedule_at engine ~time:ev.Adversary.at_s (fun () ->
+          apply ev.Adversary.op;
+          t.adv_fired <- t.adv_fired + 1))
+    adv_events;
+  t
+
+let adv_events t = t.adv_events
+let adv_fired t = t.adv_fired

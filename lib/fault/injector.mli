@@ -45,3 +45,31 @@ val fired : t -> int
 val control_up : t -> bool
 (** False between [Control_down] and [Control_up] ops — hosts model
     path-fetch failures against this flag. Starts true. *)
+
+(** {1 Adversaries}
+
+    The same timer machinery compiles {!Adversary.t} campaigns. The
+    determinism contract is identical: elaboration draws only from the
+    stream passed here — conventionally [Rng.of_label seed "fault.adv"]
+    — and attaching an adversary leaves every workload stream
+    byte-identical. *)
+
+type adv
+(** An attached adversary campaign. *)
+
+(* scion-lint: rng-stream fault.adv -- campaign elaboration draws only from the dedicated adversary stream *)
+val attach_adversary :
+  engine:Netsim.Engine.t ->
+  rng:Scion_util.Rng.t ->
+  apply:(Adversary.op -> unit) ->
+  Adversary.t ->
+  adv
+(** Elaborate the campaign with [rng] and schedule one engine event per
+    adversary op; each event calls [apply]. Ops scheduled before the
+    engine's current time are rejected with [Invalid_argument]. *)
+
+val adv_events : adv -> Adversary.event list
+(** The full elaborated attack schedule, sorted by time. *)
+
+val adv_fired : adv -> int
+(** Adversary ops applied so far (grows as the engine runs). *)

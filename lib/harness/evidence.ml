@@ -42,6 +42,7 @@ let figures =
     ("recovery", "Self-healing: time to recover from link failure");
     ("pathmon", "Pathmon: adaptive vs static selection under soft degradation");
     ("scaling", "Scaling: synthetic Topogen meshes vs the 29-AS deployment");
+    ("containment", "Containment: adversarial chaos — blast radius and time to containment");
   ]
 
 let ids = List.map fst figures
@@ -58,6 +59,7 @@ let resilience_runs = ref 25
 let recovery_trials = ref 12
 let pathmon_trials = ref 10
 let scaling_sizes = ref [ 100; 300; 1000 ]
+let adversary_topogen = ref 300
 
 (* --- Memoised datasets ------------------------------------------------ *)
 
@@ -97,6 +99,17 @@ let pathmon_data =
    rows and headline gauges instead. *)
 let scaling_data = lazy (Sciera.Exp_scaling.run ~sizes:!scaling_sizes ())
 
+(* Runs LAST in figure order and keeps its meshes telemetry-less for the
+   same per-AS-series reason as scaling; the [exp.adversary.*] aggregate
+   counters flow through a private Obs bundle instead. Running last also
+   means its (adversarial) use of the process-wide signature cache cannot
+   reorder any earlier figure's hit/miss sequence. *)
+let adversary_data =
+  lazy
+    (let obs = Sciera.Obs.create () in
+     let r = Sciera.Exp_adversary.run ~topogen_ases:!adversary_topogen ~telemetry:obs () in
+     (r, Sciera.Obs.samples obs))
+
 let bootstrap =
   lazy
     (let obs = Sciera.Obs.create () in
@@ -114,13 +127,14 @@ let isd_evolution =
 let use_full_scale () =
   if
     Lazy.is_val connectivity || Lazy.is_val resilience || Lazy.is_val recovery_data
-    || Lazy.is_val pathmon_data || Lazy.is_val scaling_data
+    || Lazy.is_val pathmon_data || Lazy.is_val scaling_data || Lazy.is_val adversary_data
   then invalid_arg "Evidence.use_full_scale: a dataset is already memoised at evidence scale";
   connectivity_days := 20.0;
   resilience_runs := 100;
   recovery_trials := 40;
   pathmon_trials := 30;
-  scaling_sizes := [ 100; 300; 1000; 3000 ]
+  scaling_sizes := [ 100; 300; 1000; 3000 ];
+  adversary_topogen := 600
 
 (* --- Assembly --------------------------------------------------------- *)
 
@@ -407,6 +421,32 @@ let scaling () =
       :: per_row)
     (fun () -> print_scaling r)
 
+let containment () =
+  let r, samples = Lazy.force adversary_data in
+  let open Sciera.Exp_adversary in
+  let slug s = String.map (fun ch -> if ch = '-' then '_' else ch) s in
+  let per_cell =
+    List.concat_map
+      (fun c ->
+        let key k =
+          Printf.sprintf "%s_%s_%s_%s" (slug (attack_name c.c_attack)) (slug c.c_scale)
+            (if c.c_defended then "on" else "off")
+            k
+        in
+        [ (key "blast", blast_scalar c); (key "contain_s", c.c_contain_s) ])
+      r.cells
+  in
+  make ~id:"containment" ~samples
+    ~headline:
+      (("classes_contained", float_of_int r.classes_contained)
+      :: ("quarantine_events", float_of_int r.quarantine_events)
+      :: ("quarantine_drops", float_of_int r.quarantine_drops)
+      :: ("scmp_suppressed", float_of_int r.scmp_suppressed)
+      :: ("poisoned_revocations", float_of_int r.poisoned_revocations)
+      :: ("rotations", float_of_int r.rotations)
+      :: per_cell)
+    (fun () -> print_containment r)
+
 let run id =
   match id with
   | "table1" -> table1 ()
@@ -427,4 +467,5 @@ let run id =
   | "recovery" -> recovery ()
   | "pathmon" -> pathmon ()
   | "scaling" -> scaling ()
+  | "containment" -> containment ()
   | other -> invalid_arg (Printf.sprintf "Evidence.run: unknown figure %S" other)

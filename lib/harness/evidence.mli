@@ -44,6 +44,10 @@ val pathmon_trials : int ref
 val scaling_sizes : int list ref
 (** Topogen AS counts swept by the scaling figure (full run adds 3000). *)
 
+val adversary_topogen : int ref
+(** Topogen mesh size for the containment figure's second scale (full
+    run: 600). *)
+
 val use_full_scale : unit -> unit
 (** Switch every scale knob to the full EXPERIMENTS.md campaign (20 days,
     100 failure runs, 40 recovery trials, 30 pathmon trials, scaling up

@@ -429,6 +429,68 @@ let qcheck_random_topology_paths_valid =
       done;
       !ok)
 
+(* --- Containment: quarantine, seizure, rotation, sigcache epochs -------- *)
+
+let adv_rng () = Scion_util.Rng.of_label 42L "fault.adv"
+
+let test_sigcache_epoch_flush () =
+  let cache = Sigcache.create () in
+  let priv, pub = Scion_crypto.Schnorr.derive ~seed:"epoch" in
+  let signature = Scion_crypto.Schnorr.sign priv "msg" in
+  Alcotest.(check bool) "verifies" true (Sigcache.verify cache pub ~msg:"msg" ~signature);
+  let m0 = Sigcache.misses cache in
+  ignore (Sigcache.verify cache pub ~msg:"msg" ~signature);
+  Alcotest.(check int) "second verify answered from cache" m0 (Sigcache.misses cache);
+  (* Rotating the key epoch drops every cached verdict: the same triple
+     must be re-proved under the new trust material. *)
+  Sigcache.set_epoch cache "1:2";
+  ignore (Sigcache.verify cache pub ~msg:"msg" ~signature);
+  Alcotest.(check int) "epoch change drops entries" (m0 + 1) (Sigcache.misses cache);
+  let m1 = Sigcache.misses cache in
+  Sigcache.set_epoch cache "1:2";
+  ignore (Sigcache.verify cache pub ~msg:"msg" ~signature);
+  Alcotest.(check int) "re-setting the same epoch is a no-op" m1 (Sigcache.misses cache)
+
+let test_quarantine_contains_corruption () =
+  let config = { Mesh.default_config with Mesh.quarantine = Some Mesh.default_quarantine } in
+  let m = build_mesh ~config () in
+  let rng = adv_rng () in
+  let accepted = ref 0 in
+  for _ = 1 to 4 do
+    accepted := !accepted + Mesh.inject_corrupt_beacons m ~compromised:c1 ~rng ~now ~count:6
+  done;
+  Alcotest.(check int) "nothing accepted under verification" 0 !accepted;
+  Alcotest.(check bool) "quarantine engaged after repeated strikes" true
+    (Mesh.quarantine_events m > 0);
+  Alcotest.(check bool) "later beacons dropped unprocessed" true (Mesh.quarantine_drops m > 0);
+  let q = List.concat_map (fun nbr -> Mesh.quarantined_neighbors m nbr ~now) [ a; d; c2; c3 ] in
+  Alcotest.(check bool) "the attacker's arrival interfaces are quarantined" true
+    (List.exists (fun (_, who) -> Ia.equal who c1) q)
+
+let test_seize_rotate_epoch () =
+  let m = build_mesh () in
+  let rng = adv_rng () in
+  Alcotest.(check int) "forged beacons rejected pre-seizure" 0
+    (Mesh.inject_corrupt_beacons m ~compromised:c1 ~rng ~now ~count:4);
+  Mesh.seize_as m ~ia:c1 ~now;
+  Alcotest.(check bool) "identity seized" true (Mesh.seized m c1);
+  (* A second later than convergence so the attacker's beacons beat the
+     stores' same-fingerprint entries on timestamp. *)
+  let accepted = Mesh.inject_corrupt_beacons m ~compromised:c1 ~rng ~now:(now +. 1.0) ~count:4 in
+  Alcotest.(check bool) "attacker-signed beacons accepted mid-compromise" true (accepted > 0);
+  (* The mid-run rotation drill: new root, re-issued certs, new key epoch —
+     cached verdicts for the attacker's certificate die with the flush. *)
+  let epoch_before = Mesh.key_epoch m in
+  Mesh.rotate_trc m ~isd:1 ~now;
+  Alcotest.(check bool) "key epoch changed" true (Mesh.key_epoch m <> epoch_before);
+  Alcotest.(check bool) "attacker identity evicted" false (Mesh.seized m c1);
+  Alcotest.(check int) "one rotation recorded" 1 (Mesh.rotations m);
+  Alcotest.(check int) "forged beacons rejected post-rotation" 0
+    (Mesh.inject_corrupt_beacons m ~compromised:c1 ~rng ~now ~count:4);
+  (* And the honest control plane still converges under the new root. *)
+  Mesh.run_beaconing m ~now;
+  Alcotest.(check bool) "honest paths survive rotation" true (Mesh.paths m ~src:e ~dst:f <> [])
+
 let () =
   Alcotest.run "scion_controlplane"
     [
@@ -454,5 +516,12 @@ let () =
           Alcotest.test_case "disjointness metric" `Quick test_disjointness_metric;
         ] );
       ("beacon_store", [ Alcotest.test_case "policy" `Quick test_beacon_store_policy ]);
+      ( "containment",
+        [
+          Alcotest.test_case "sigcache epoch flush" `Quick test_sigcache_epoch_flush;
+          Alcotest.test_case "quarantine contains corruption" `Quick
+            test_quarantine_contains_corruption;
+          Alcotest.test_case "seize, rotate, re-contain" `Quick test_seize_rotate_epoch;
+        ] );
       ("property", [ QCheck_alcotest.to_alcotest qcheck_random_topology_paths_valid ]);
     ]

@@ -119,6 +119,105 @@ let test_attach_rejects_past_ops () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "attaching a scenario behind the engine clock must be rejected"
 
+(* --- Adversary campaigns -------------------------------------------------- *)
+
+module Adversary = Fault.Adversary
+
+let adv_rng () = Rng.of_label 42L "fault.adv"
+let ia = Scion_addr.Ia.of_string
+
+let adv_op_strings evs =
+  List.map (fun (e : Adversary.event) -> (e.at_s, Adversary.op_to_string e.op)) evs
+
+let test_adversary_elaborate_deterministic () =
+  let c =
+    Adversary.(
+      beacon_corruption ~compromised:(ia "71-20965") ~from_s:2.0 ~until_s:8.0 ~period_s:1.0
+        ~count:5
+      ++ wormhole ~a:(ia "71-225") ~b:(ia "71-88") ~from_s:3.0 ~to_s:6.0
+      ++ compromise_drill ~isd:71 ~at_s:1.0 ~rotate_after_s:4.0)
+  in
+  let a = Adversary.elaborate c ~rng:(adv_rng ()) in
+  let b = Adversary.elaborate c ~rng:(adv_rng ()) in
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "same stream, same schedule" (adv_op_strings a) (adv_op_strings b);
+  let times = List.map (fun (e : Adversary.event) -> e.at_s) a in
+  Alcotest.(check bool) "sorted by time" true (List.sort compare times = times)
+
+let test_adversary_burst_window () =
+  let evs =
+    Adversary.(
+      elaborate
+        (beacon_replay ~compromised:(ia "71-20965") ~from_s:2.0 ~until_s:5.0 ~period_s:1.0
+           ~age_s:3600.0 ~count:3))
+      ~rng:(adv_rng ())
+  in
+  (* [from_s, until_s) with period 1 -> bursts at 2, 3, 4 only. *)
+  Alcotest.(check (list (float 1e-9)))
+    "bursts strictly before until_s" [ 2.0; 3.0; 4.0 ]
+    (List.map (fun (e : Adversary.event) -> e.at_s) evs)
+
+let test_adversary_wormhole_shape () =
+  let evs =
+    Adversary.(elaborate (wormhole ~a:(ia "71-225") ~b:(ia "71-88") ~from_s:1.0 ~to_s:7.0))
+      ~rng:(adv_rng ())
+  in
+  match evs with
+  | [ { at_s = up; op = Adversary.Wormhole_up _ }; { at_s = down; op = Adversary.Wormhole_down _ } ]
+    ->
+      Alcotest.(check (float 1e-9)) "tunnel up at from_s" 1.0 up;
+      Alcotest.(check (float 1e-9)) "tunnel down at to_s" 7.0 down
+  | _ -> Alcotest.fail "wormhole must elaborate to up then down"
+
+let test_adversary_validation () =
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "negative at rejected" true
+    (raises (fun () -> Adversary.at (-1.0) [ Adversary.Trc_compromise { isd = 71 } ]));
+  Alcotest.(check bool) "duplicate_pct > 100 rejected" true
+    (raises (fun () ->
+         Adversary.flood ~attacker:(ia "71-225") ~target:(ia "71-88") ~from_s:0.0 ~until_s:1.0
+           ~period_s:1.0 ~packets:10 ~duplicate_pct:101))
+
+let test_attach_adversary_fires_in_order () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  let adv =
+    Injector.attach_adversary ~engine ~rng:(adv_rng ())
+      ~apply:(fun op -> seen := Adversary.op_to_string op :: !seen)
+      Adversary.(
+        at 2.0 [ Adversary.Trc_compromise { isd = 71 } ]
+        ++ beacon_corruption ~compromised:(ia "71-20965") ~from_s:1.0 ~until_s:4.0 ~period_s:1.0
+             ~count:2
+        ++ at 3.0 [ Adversary.Trc_rotate { isd = 71 } ])
+  in
+  Alcotest.(check int) "nothing fired before the engine runs" 0 (Injector.adv_fired adv);
+  Engine.run engine;
+  let total = List.length (Injector.adv_events adv) in
+  Alcotest.(check int) "every op fired exactly once" total (Injector.adv_fired adv);
+  Alcotest.(check int) "apply observed every op" total (List.length !seen);
+  (* The drill ordering survives the timer compilation: the compromise
+     (t=2) applies before the rotation (t=3). *)
+  let pos needle =
+    let rec go i = function
+      | [] -> Alcotest.fail (needle ^ " never applied")
+      | s :: rest -> if s = needle then i else go (i + 1) rest
+    in
+    go 0 (List.rev !seen)
+  in
+  Alcotest.(check bool) "compromise before rotation" true
+    (pos (Adversary.op_to_string (Adversary.Trc_compromise { isd = 71 }))
+    < pos (Adversary.op_to_string (Adversary.Trc_rotate { isd = 71 })))
+
+let test_attach_adversary_rejects_past_ops () =
+  let engine = Engine.create ~start:100.0 () in
+  match
+    Injector.attach_adversary ~engine ~rng:(adv_rng ())
+      ~apply:(fun _ -> ())
+      (Adversary.at 1.0 [ Adversary.Trc_compromise { isd = 71 } ])
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "attaching a campaign behind the engine clock must be rejected"
+
 (* --- Canned incident replays --------------------------------------------- *)
 
 let test_canned_replays () =
@@ -168,6 +267,16 @@ let () =
         [
           Alcotest.test_case "attach_net applies ops" `Quick test_attach_net_applies_ops;
           Alcotest.test_case "past ops rejected" `Quick test_attach_rejects_past_ops;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "elaborate sorted + deterministic" `Quick
+            test_adversary_elaborate_deterministic;
+          Alcotest.test_case "burst window excludes until" `Quick test_adversary_burst_window;
+          Alcotest.test_case "wormhole up/down shape" `Quick test_adversary_wormhole_shape;
+          Alcotest.test_case "combinator validation" `Quick test_adversary_validation;
+          Alcotest.test_case "attach fires in order" `Quick test_attach_adversary_fires_in_order;
+          Alcotest.test_case "past ops rejected" `Quick test_attach_adversary_rejects_past_ops;
         ] );
       ( "incidents",
         [
