@@ -489,6 +489,47 @@ let path_links t (fp : Combinator.fullpath) =
       Hashtbl.replace t.links_cache fp.Combinator.fingerprint ids;
       ids
 
+(* Directed traversal of a path's fabric links for the traffic engine:
+   walk from the source endpoint of the first link, flipping to the far
+   endpoint across each. [path_links] is undirected and cached; only the
+   walk direction depends on [src]. *)
+let path_hops t ~src (fp : Combinator.fullpath) =
+  let start = lookup "AS" Ia.to_string t.node src in
+  let rec go at = function
+    | [] -> []
+    | id :: rest ->
+        let a, b = Net.endpoints t.net id in
+        let next =
+          if at = a then b
+          else if at = b then a
+          else
+            invalid_arg
+              (Printf.sprintf "Network.path_hops: link %d is not incident to the walk" id)
+        in
+        { Traffic.Flow.link = id; from = at } :: go next rest
+  in
+  go start (path_links t fp)
+
+let arm_capacities t ~bps ~queue_pkts =
+  for id = 0 to Net.num_links t.net - 1 do
+    Net.set_capacity t.net id ~bps ~queue_pkts
+  done
+
+let path_headroom_bps t ~src fp =
+  List.fold_left
+    (fun acc (h : Traffic.Flow.hop) ->
+      match Net.capacity t.net h.link with
+      | None -> acc
+      | Some (cap, _) -> Float.min acc (cap -. Net.fluid_load t.net h.link ~from:h.from))
+    infinity (path_hops t ~src fp)
+
+let path_load_signal t ~src fp =
+  List.fold_left
+    (fun (u, q) (h : Traffic.Flow.hop) ->
+      ( Float.max u (Net.utilisation t.net h.link ~from:h.from),
+        Float.max q (Net.queueing_delay_ms t.net h.link ~from:h.from) ))
+    (0.0, 0.0) (path_hops t ~src fp)
+
 let scion_rtt_sample t fp = Net.path_rtt t.net (path_links t fp)
 let scion_rtt_base t fp = 2.0 *. Net.path_base_latency t.net (path_links t fp)
 

@@ -131,6 +131,28 @@ val live_paths : t -> src:Ia.t -> dst:Ia.t -> Combinator.fullpath list
 val path_links : t -> Combinator.fullpath -> Netsim.Net.link_id list
 (** The SCION-fabric links under a path's interface trace. *)
 
+val path_hops : t -> src:Scion_addr.Ia.t -> Combinator.fullpath -> Traffic.Flow.hop list
+(** {!path_links} with direction: the hop sequence walked from [src]'s
+    fabric node, as the traffic engine's {!Traffic.Flow.offer} needs it.
+    Raises [Invalid_argument] when [src] is not an endpoint of the path's
+    first link. *)
+
+val arm_capacities : t -> bps:float -> queue_pkts:int -> unit
+(** Arm {!Netsim.Net.set_capacity} on every SCION-fabric link — the
+    congestion-experiment switch. Never called by {!create}: fabrics stay
+    in the legacy latency/loss model (and goldens stay byte-identical)
+    unless an experiment opts in. *)
+
+val path_headroom_bps : t -> src:Scion_addr.Ia.t -> Combinator.fullpath -> float
+(** Spare bottleneck capacity along the directed path: min over hops of
+    (capacity − fluid load), ignoring unarmed hops ([infinity] if none is
+    armed). The signal {!Scion_endhost.Pan.pick_flow_path} ranks by. *)
+
+val path_load_signal : t -> src:Scion_addr.Ia.t -> Combinator.fullpath -> float * float
+(** (max hop utilisation, max hop queueing delay ms) along the directed
+    path — the bandwidth signal fed to
+    {!Pathmon.Estimator.observe_bandwidth}. (0., 0.) on unarmed paths. *)
+
 val scion_rtt_sample : t -> Combinator.fullpath -> [ `Rtt of float | `Lost ]
 (** One SCMP ping over the path (analytic mode: per-link jitter and loss). *)
 

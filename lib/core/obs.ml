@@ -35,6 +35,10 @@ let wire_fabric t ~name net =
   let rx_bytes = counter "net.rx_bytes" in
   let drop_down = counter ~extra:[ ("cause", "link_down") ] "net.dropped" in
   let drop_loss = counter ~extra:[ ("cause", "random_loss") ] "net.dropped" in
+  (* Queue drops only exist on capacity-armed links; the counter is
+     created lazily on the first such drop so fabrics that never arm
+     capacity keep their historic snapshot byte-identical. *)
+  let drop_queue = lazy (counter ~extra:[ ("cause", "queue_full") ] "net.dropped") in
   let wait = M.histogram t.registry ~labels:base ~buckets:wait_buckets "net.serialisation_wait_s" in
   Net.set_monitor net (function
     | Net.Tx { size_bytes; wait_s; _ } ->
@@ -45,7 +49,8 @@ let wire_fabric t ~name net =
         M.inc rx_packets;
         M.add rx_bytes size_bytes
     | Net.Drop { cause = Net.Link_down; _ } -> M.inc drop_down
-    | Net.Drop { cause = Net.Random_loss; _ } -> M.inc drop_loss)
+    | Net.Drop { cause = Net.Random_loss; _ } -> M.inc drop_loss
+    | Net.Drop { cause = Net.Queue_full; _ } -> M.inc (Lazy.force drop_queue))
 
 let samples t = M.snapshot t.registry
 let snapshot_json t = Telemetry.Export.to_json t.registry

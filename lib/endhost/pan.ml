@@ -76,6 +76,23 @@ let sort_paths policy ~latency_of paths =
   in
   List.sort (compare_by policy.preferences) paths
 
+(* Flow placement for the traffic engine: among the policy's admissible
+   paths, take the one with the most bottleneck headroom, falling back to
+   the policy order on ties (strict > keeps the first, i.e. the
+   policy-preferred, candidate — deterministic for equal headroom). *)
+let pick_flow_path ?(policy = default_policy) ~latency_of ~headroom paths =
+  match sort_paths policy ~latency_of (filter_paths policy paths) with
+  | [] -> None
+  | first :: rest ->
+      let best, _ =
+        List.fold_left
+          (fun ((_, best_h) as kept) p ->
+            let h = headroom p in
+            if h > best_h then (p, h) else kept)
+          (first, headroom first) rest
+      in
+      Some best
+
 type mode = Daemon_dependent | Bootstrapper_dependent | Standalone
 
 let mode_to_string = function

@@ -33,6 +33,19 @@ val sort_paths :
   policy -> latency_of:(Combinator.fullpath -> float) -> Combinator.fullpath list ->
   Combinator.fullpath list
 
+val pick_flow_path :
+  ?policy:policy ->
+  latency_of:(Combinator.fullpath -> float) ->
+  headroom:(Combinator.fullpath -> float) ->
+  Combinator.fullpath list ->
+  Combinator.fullpath option
+(** Multipath-capable flow placement: the policy-admissible path with the
+    most [headroom] (spare bottleneck capacity, e.g.
+    {!Sciera.Network.path_headroom_bps}), ties resolved by the policy's
+    preference order. [None] when no path passes the policy — the
+    single-path-IP baseline instead always takes the head of
+    {!sort_paths}. *)
+
 (** Operating modes of the library (Section 4.2.1). *)
 type mode = Daemon_dependent | Bootstrapper_dependent | Standalone
 

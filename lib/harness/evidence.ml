@@ -42,6 +42,7 @@ let figures =
     ("recovery", "Self-healing: time to recover from link failure");
     ("pathmon", "Pathmon: adaptive vs static selection under soft degradation");
     ("scaling", "Scaling: synthetic Topogen meshes vs the 29-AS deployment");
+    ("load", "Load: goodput and FCT vs offered load — multipath vs single-path endpoints");
     ("containment", "Containment: adversarial chaos — blast radius and time to containment");
   ]
 
@@ -60,6 +61,9 @@ let recovery_trials = ref 12
 let pathmon_trials = ref 10
 let scaling_sizes = ref [ 100; 300; 1000 ]
 let adversary_topogen = ref 300
+let load_loads = ref [ 0.3; 0.6; 1.0; 1.5 ]
+let load_duration = ref 20.0
+let load_topogen = ref 300
 
 (* --- Memoised datasets ------------------------------------------------ *)
 
@@ -99,6 +103,17 @@ let pathmon_data =
    rows and headline gauges instead. *)
 let scaling_data = lazy (Sciera.Exp_scaling.run ~sizes:!scaling_sizes ())
 
+(* Stack telemetry only for the 29-AS mesh (the topogen-scale mesh inside
+   the experiment stays telemetry-less — per-AS series, as for scaling). *)
+let load_data =
+  lazy
+    (let obs = Sciera.Obs.create () in
+     let r =
+       Sciera.Exp_load.run ~loads:!load_loads ~duration_s:!load_duration
+         ~topogen_ases:!load_topogen ~telemetry:obs ()
+     in
+     (r, Sciera.Obs.samples obs))
+
 (* Runs LAST in figure order and keeps its meshes telemetry-less for the
    same per-AS-series reason as scaling; the [exp.adversary.*] aggregate
    counters flow through a private Obs bundle instead. Running last also
@@ -128,13 +143,17 @@ let use_full_scale () =
   if
     Lazy.is_val connectivity || Lazy.is_val resilience || Lazy.is_val recovery_data
     || Lazy.is_val pathmon_data || Lazy.is_val scaling_data || Lazy.is_val adversary_data
+    || Lazy.is_val load_data
   then invalid_arg "Evidence.use_full_scale: a dataset is already memoised at evidence scale";
   connectivity_days := 20.0;
   resilience_runs := 100;
   recovery_trials := 40;
   pathmon_trials := 30;
   scaling_sizes := [ 100; 300; 1000; 3000 ];
-  adversary_topogen := 600
+  adversary_topogen := 600;
+  load_loads := [ 0.3; 0.6; 1.0; 1.5; 2.0 ];
+  load_duration := 45.0;
+  load_topogen := 600
 
 (* --- Assembly --------------------------------------------------------- *)
 
@@ -421,6 +440,36 @@ let scaling () =
       :: per_row)
     (fun () -> print_scaling r)
 
+let load () =
+  let r, samples = Lazy.force load_data in
+  let open Sciera.Exp_load in
+  let slug s = String.map (fun ch -> if ch = '-' then '_' else ch) s in
+  let per_cell =
+    List.concat_map
+      (fun c ->
+        let key k =
+          Printf.sprintf "%s_%s_%s_%s" (slug c.c_scale)
+            (slug (arm_name c.c_arm))
+            (slug (Table.fmt_float c.c_load))
+            k
+        in
+        [
+          (key "goodput_mbps", c.c_goodput_mbps);
+          (key "p99_fct_s", c.c_p99_fct_s);
+          (key "reject_pct", c.c_reject_pct);
+          (key "fg_drop_pct", c.c_fg_drop_pct);
+        ])
+      r.cells
+  in
+  make ~id:"load" ~samples
+    ~headline:
+      (("loads", float_of_int (List.length r.loads))
+      :: ("cell_duration_s", r.duration_s)
+      :: ("mp_goodput_gain", r.mp_goodput_gain)
+      :: ("mp_p99_fct_ratio", r.mp_p99_fct_ratio)
+      :: per_cell)
+    (fun () -> print_load r)
+
 let containment () =
   let r, samples = Lazy.force adversary_data in
   let open Sciera.Exp_adversary in
@@ -467,5 +516,6 @@ let run id =
   | "recovery" -> recovery ()
   | "pathmon" -> pathmon ()
   | "scaling" -> scaling ()
+  | "load" -> load ()
   | "containment" -> containment ()
   | other -> invalid_arg (Printf.sprintf "Evidence.run: unknown figure %S" other)

@@ -48,6 +48,17 @@ val adversary_topogen : int ref
 (** Topogen mesh size for the containment figure's second scale (full
     run: 600). *)
 
+val load_loads : float list ref
+(** Offered-load multipliers swept by the load figure (full run adds
+    2.0). *)
+
+val load_duration : float ref
+(** Per-cell simulated seconds for the load figure (full run: 45). *)
+
+val load_topogen : int ref
+(** Topogen mesh size for the load figure's second scale (full run:
+    600). *)
+
 val use_full_scale : unit -> unit
 (** Switch every scale knob to the full EXPERIMENTS.md campaign (20 days,
     100 failure runs, 40 recovery trials, 30 pathmon trials, scaling up

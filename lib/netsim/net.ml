@@ -12,6 +12,23 @@ type link_params = {
 
 let default_params = { latency_ms = 10.0; jitter_ms = 0.5; loss = 0.0; bandwidth_mbps = 1000.0 }
 
+(* Opt-in congestion state, armed per link by [set_capacity]. [cap_bps]
+   replaces the nominal [bandwidth_mbps] for serialisation; the bounded
+   FIFO tail-drops at [q_limit] outstanding packets per direction; the
+   fluid fields carry the background flow-level load (Traffic.Flow) that
+   the packet path's serialisation sees as consumed capacity. A link with
+   [cap = None] behaves exactly as before this field existed. *)
+type cap = {
+  cap_bps : float;
+  q_limit : int;
+  mutable fluid_ab : float;
+  mutable fluid_ba : float;
+  mutable q_ab : int;
+  mutable q_ba : int;
+  mutable qbytes_ab : int;
+  mutable qbytes_ba : int;
+}
+
 type link = {
   a : node;
   b : node;
@@ -22,9 +39,10 @@ type link = {
   (* FIFO serialisation state for packet-level mode, per direction. *)
   mutable busy_until_ab : float;
   mutable busy_until_ba : float;
+  mutable cap : cap option;
 }
 
-type drop_cause = Link_down | Random_loss
+type drop_cause = Link_down | Random_loss | Queue_full
 
 type link_event =
   | Tx of { link : link_id; src : node; size_bytes : int; wait_s : float }
@@ -136,7 +154,17 @@ let add_link t a b p =
   if a < 0 || a >= t.nodes || b < 0 || b >= t.nodes then invalid_arg "Net.add_link: bad endpoint";
   check_params p;
   let link =
-    { a; b; p; up = true; extra_ms = 0.0; extra_loss = 0.0; busy_until_ab = 0.0; busy_until_ba = 0.0 }
+    {
+      a;
+      b;
+      p;
+      up = true;
+      extra_ms = 0.0;
+      extra_loss = 0.0;
+      busy_until_ab = 0.0;
+      busy_until_ba = 0.0;
+      cap = None;
+    }
   in
   if t.nlinks = Array.length t.links then begin
     let links = Array.make (max 16 (2 * t.nlinks)) link in
@@ -191,6 +219,87 @@ let set_extra_loss t id loss =
 
 let extra_loss t id = (get t id).extra_loss
 
+(* Capacity validation mirrors [check_params]: a NaN or non-positive
+   capacity makes every serialisation time nonsensical, and a queue bound
+   below one packet can never transmit — both fail fast at arming time. *)
+let set_capacity t id ~bps ~queue_pkts =
+  if not (Float.is_finite bps) || bps <= 0.0 then
+    invalid_arg (Printf.sprintf "Net.set_capacity: bps must be finite and > 0 (got %g)" bps);
+  if queue_pkts < 1 then
+    invalid_arg (Printf.sprintf "Net.set_capacity: queue_pkts must be >= 1 (got %d)" queue_pkts);
+  (get t id).cap <-
+    Some
+      {
+        cap_bps = bps;
+        q_limit = queue_pkts;
+        fluid_ab = 0.0;
+        fluid_ba = 0.0;
+        q_ab = 0;
+        q_ba = 0;
+        qbytes_ab = 0;
+        qbytes_ba = 0;
+      }
+
+let capacity t id =
+  match (get t id).cap with None -> None | Some c -> Some (c.cap_bps, c.q_limit)
+
+let clear_capacity t id = (get t id).cap <- None
+
+(* Direction resolution shared by the fluid/queue accessors: [from] names
+   the sending endpoint, so state is per transmit direction. *)
+let dir_ab name l from =
+  if from = l.a then true
+  else if from = l.b then false
+  else invalid_arg (name ^ ": sender is not an endpoint")
+
+let armed name l =
+  match l.cap with
+  | Some c -> c
+  | None -> invalid_arg (name ^ ": link has no capacity armed (call set_capacity first)")
+
+let set_fluid_load t id ~from ~bps =
+  if not (Float.is_finite bps) || bps < 0.0 then
+    invalid_arg (Printf.sprintf "Net.set_fluid_load: bps must be finite and >= 0 (got %g)" bps);
+  let l = get t id in
+  let c = armed "Net.set_fluid_load" l in
+  if dir_ab "Net.set_fluid_load" l from then c.fluid_ab <- bps else c.fluid_ba <- bps
+
+let fluid_load t id ~from =
+  let l = get t id in
+  match l.cap with
+  | None -> 0.0
+  | Some c -> if dir_ab "Net.fluid_load" l from then c.fluid_ab else c.fluid_ba
+
+let queue_depth t id ~from =
+  let l = get t id in
+  match l.cap with
+  | None -> 0
+  | Some c -> if dir_ab "Net.queue_depth" l from then c.q_ab else c.q_ba
+
+let utilisation t id ~from =
+  let l = get t id in
+  match l.cap with
+  | None -> 0.0
+  | Some c ->
+      let fluid = if dir_ab "Net.utilisation" l from then c.fluid_ab else c.fluid_ba in
+      Float.min 1.0 (fluid /. c.cap_bps)
+
+(* The packet path keeps a residual floor of 1% of capacity even under
+   full fluid load, so foreground probes always drain (slowly) instead of
+   dividing by zero — congestion then shows up as queueing delay and
+   tail drops, which is what the experiment measures. *)
+let avail_bps c fluid = Float.max (0.01 *. c.cap_bps) (c.cap_bps -. fluid)
+
+let queueing_delay_ms t id ~from =
+  let l = get t id in
+  match l.cap with
+  | None -> 0.0
+  | Some c ->
+      let ab = dir_ab "Net.queueing_delay_ms" l from in
+      let fluid = if ab then c.fluid_ab else c.fluid_ba in
+      let qbytes = if ab then c.qbytes_ab else c.qbytes_ba in
+      float_of_int qbytes *. 8.0 /. avail_bps c fluid *. 1000.0
+
 (* Effective per-traversal loss. The base + burst sum keeps the RNG draw
    discipline of [transmit]/[sample_one_way] intact: with no burst active
    the guard and the draw are exactly the pre-burst ones. *)
@@ -243,19 +352,59 @@ let transmit t engine id ~from ~size_bytes ~on_arrival =
     notify t (Drop { link = id; src = from; size_bytes; cause = Random_loss })
   else begin
     let now = Engine.now engine in
-    let serialization = float_of_int size_bytes *. 8.0 /. (l.p.bandwidth_mbps *. 1e6) in
     let busy_until, set_busy =
       if from = l.a then (l.busy_until_ab, fun v -> l.busy_until_ab <- v)
       else (l.busy_until_ba, fun v -> l.busy_until_ba <- v)
     in
-    let start = Float.max now busy_until in
-    let done_sending = start +. serialization in
-    set_busy done_sending;
-    notify t (Tx { link = id; src = from; size_bytes; wait_s = start -. now });
-    let arrival = done_sending +. (one_way_ms t l /. 1000.0) in
-    Engine.schedule_at engine ~time:arrival (fun () ->
-      notify t (Rx { link = id; dst; size_bytes });
-      on_arrival ())
+    let deliver ~start ~done_sending =
+      notify t (Tx { link = id; src = from; size_bytes; wait_s = start -. now });
+      let arrival = done_sending +. (one_way_ms t l /. 1000.0) in
+      Engine.schedule_at engine ~time:arrival (fun () ->
+        notify t (Rx { link = id; dst; size_bytes });
+        on_arrival ())
+    in
+    match l.cap with
+    | None ->
+        (* Legacy path: nominal bandwidth, no queue bound. Byte-identical
+           behaviour (and engine event count) for every unarmed fabric. *)
+        let serialization = float_of_int size_bytes *. 8.0 /. (l.p.bandwidth_mbps *. 1e6) in
+        let start = Float.max now busy_until in
+        let done_sending = start +. serialization in
+        set_busy done_sending;
+        deliver ~start ~done_sending
+    | Some c ->
+        let ab = from = l.a in
+        let q = if ab then c.q_ab else c.q_ba in
+        if q >= c.q_limit then
+          notify t (Drop { link = id; src = from; size_bytes; cause = Queue_full })
+        else begin
+          (* Serialisation over what the fluid background leaves free;
+             the bounded FIFO admits the packet and releases its slot
+             when it finishes serialising. *)
+          let fluid = if ab then c.fluid_ab else c.fluid_ba in
+          let serialization = float_of_int size_bytes *. 8.0 /. avail_bps c fluid in
+          let start = Float.max now busy_until in
+          let done_sending = start +. serialization in
+          set_busy done_sending;
+          if ab then begin
+            c.q_ab <- q + 1;
+            c.qbytes_ab <- c.qbytes_ab + size_bytes
+          end
+          else begin
+            c.q_ba <- q + 1;
+            c.qbytes_ba <- c.qbytes_ba + size_bytes
+          end;
+          Engine.schedule_at engine ~time:done_sending (fun () ->
+            if ab then begin
+              c.q_ab <- max 0 (c.q_ab - 1);
+              c.qbytes_ab <- max 0 (c.qbytes_ab - size_bytes)
+            end
+            else begin
+              c.q_ba <- max 0 (c.q_ba - 1);
+              c.qbytes_ba <- max 0 (c.qbytes_ba - size_bytes)
+            end);
+          deliver ~start ~done_sending
+        end
   end
 
 (* Uniform-cost search over up links; [weight] chooses the metric.

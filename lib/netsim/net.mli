@@ -64,6 +64,52 @@ val set_extra_loss : t -> link_id -> float -> unit
 
 val extra_loss : t -> link_id -> float
 
+(** {1 Capacity and queueing (opt-in congestion model)}
+
+    Arming a link with {!set_capacity} switches its packet-level
+    serialisation from the nominal [bandwidth_mbps] to an explicit
+    capacity budget shared with a fluid (flow-level) background load, and
+    bounds the per-direction FIFO with tail drop ([Queue_full]). Links
+    never armed behave byte-identically to the pre-capacity model — same
+    delivery times, same RNG draw sequence, same engine event count —
+    which is what keeps every pre-existing golden snapshot stable. *)
+
+val set_capacity : t -> link_id -> bps:float -> queue_pkts:int -> unit
+(** Arm (or re-arm, resetting queue/fluid state) the congestion model on a
+    link: [bps] is the serialisation capacity per direction, [queue_pkts]
+    the bounded FIFO depth per direction. Raises [Invalid_argument] when
+    [bps] is NaN, infinite or [<= 0], or when [queue_pkts < 1]. *)
+
+val capacity : t -> link_id -> (float * int) option
+(** [(bps, queue_pkts)] when armed. *)
+
+val clear_capacity : t -> link_id -> unit
+(** Return the link to the legacy latency/loss-only model. *)
+
+val set_fluid_load : t -> link_id -> from:node -> bps:float -> unit
+(** Declare the aggregate fluid (flow-level) load crossing the link in the
+    direction leaving [from]. The packet path serialises over what the
+    fluid load leaves free (with a 1% residual floor). Raises
+    [Invalid_argument] on an unarmed link, a non-endpoint [from], or a
+    NaN/negative/infinite [bps]. Owned by [Traffic.Flow]; callers other
+    than a flow engine should treat it as read-only via {!fluid_load}. *)
+
+val fluid_load : t -> link_id -> from:node -> float
+(** Current fluid load in bps leaving [from]; [0.] when unarmed. *)
+
+val queue_depth : t -> link_id -> from:node -> int
+(** Packets currently queued/serialising in the direction leaving [from];
+    [0] when unarmed. *)
+
+val utilisation : t -> link_id -> from:node -> float
+(** Fluid load as a fraction of capacity, clamped to [\[0, 1\]]; [0.] when
+    unarmed. The bandwidth signal pathmon's estimator consumes. *)
+
+val queueing_delay_ms : t -> link_id -> from:node -> float
+(** Time for the currently queued bytes to drain at the residual (after
+    fluid load) capacity, in ms; [0.] when unarmed. The queueing-delay
+    component a latency sample over the link would incur right now. *)
+
 val sample_one_way : t -> link_id -> [ `Delivered of float | `Lost ]
 (** One traversal: [`Delivered ms] or [`Lost]. Down links always lose. *)
 
@@ -98,7 +144,10 @@ val path_base_latency : t -> link_id list -> float
     a monitor never changes simulation behaviour — in particular, the RNG
     draw sequence is identical with and without one. *)
 
-type drop_cause = Link_down | Random_loss
+type drop_cause =
+  | Link_down
+  | Random_loss
+  | Queue_full  (** Bounded FIFO tail drop on a capacity-armed link. *)
 
 type link_event =
   | Tx of { link : link_id; src : node; size_bytes : int; wait_s : float }
@@ -125,7 +174,11 @@ val transmit :
   on_arrival:(unit -> unit) ->
   unit
 (** Packet-level send: serialisation (FIFO per direction) + propagation +
-    jitter, or silent drop on loss/down link. *)
+    jitter, or silent drop on loss/down link. On a capacity-armed link the
+    serialisation rate is the capacity left free by the fluid load, and a
+    full FIFO tail-drops the packet ([Queue_full]) — the loss draw still
+    happens first, exactly once per attempt, so arming capacity never
+    shifts the fabric RNG stream. *)
 
 val dijkstra : t -> src:node -> dst:node -> (float * link_id list) option
 (** Lowest base-latency route over up links. *)

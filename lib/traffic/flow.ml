@@ -1,0 +1,380 @@
+(* The fluid flow layer: active flows hold a max-min fair share of every
+   capacity-armed link they cross, recomputed on each arrival, departure
+   and reroute, and pushed into [Net.set_fluid_load] so the packet-level
+   foreground sees the background load as consumed capacity (hybrid
+   fidelity). The engine drives completions with a single pending timer
+   for the earliest-finishing flow; a generation counter invalidates
+   timers made stale by a recompute. Nothing here draws randomness — all
+   stochasticity lives in [Workload] — so attaching a flow engine never
+   perturbs any other RNG stream. *)
+
+module Engine = Netsim.Engine
+module Net = Netsim.Net
+module M = Telemetry.Metrics
+
+type hop = { link : Net.link_id; from : Net.node }
+
+type flow = {
+  id : int;
+  mutable hops : hop array;
+  size : float;  (* bytes, as offered *)
+  t_start : float;
+  (* Bits left to deliver: rates are bps, so integration stays in bits and
+     the byte/bit factor appears exactly once, at offer. *)
+  mutable remaining : float;
+  mutable rate : float;
+  (* Water-filling scratch: true once the flow's rate is frozen at its
+     bottleneck share during the current recompute. *)
+  mutable frozen : bool;
+}
+
+type stats = {
+  started : int;
+  completed : int;
+  rejected : int;
+  offered_bytes : float;
+  delivered_bytes : float;
+  rejected_bytes : float;
+}
+
+type metrics = {
+  m_started : M.counter;
+  m_completed : M.counter;
+  m_rejected : M.counter;
+  m_offered : M.counter;
+  m_delivered : M.counter;
+  m_active : M.gauge;
+  m_fct : M.summary;
+  m_recomputes : M.counter;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  min_rate_bps : float;
+  mutable next_id : int;
+  (* Active flows in ascending id order (append at tail): the recompute
+     and tie-breaks iterate this order, never a hash order. *)
+  mutable active : flow list;
+  mutable n_active : int;
+  mutable last_update : float;
+  mutable generation : int;
+  (* Directed links that carried fluid load after the last push, zeroed
+     before each new push so departures release their capacity. *)
+  mutable loaded : (Net.link_id * Net.node) list;
+  mutable started : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable offered_bytes : float;
+  mutable delivered_bytes : float;
+  mutable rejected_bytes : float;
+  on_complete : (fct_s:float -> size_bytes:float -> unit) option;
+  metrics : metrics option;
+}
+
+(* Flows within half a bit of done are complete: simulated times are
+   compared with <=, never with float equality. *)
+let eps_bits = 0.5
+
+let create ?metrics ?labels ?(min_rate_bps = 0.0) ?on_complete ~engine net =
+  if not (Float.is_finite min_rate_bps) || min_rate_bps < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Flow.create: min_rate_bps must be finite and >= 0 (got %g)" min_rate_bps);
+  let metrics =
+    Option.map
+      (fun reg ->
+        {
+          m_started = M.counter reg ?labels "traffic.flows_started";
+          m_completed = M.counter reg ?labels "traffic.flows_completed";
+          m_rejected = M.counter reg ?labels "traffic.flows_rejected";
+          m_offered = M.counter reg ?labels "traffic.offered_bytes";
+          m_delivered = M.counter reg ?labels "traffic.delivered_bytes";
+          m_active = M.gauge reg ?labels "traffic.active_flows";
+          m_fct = M.summary reg ?labels "traffic.fct_s";
+          m_recomputes = M.counter reg ?labels "traffic.recomputes";
+        })
+      metrics
+  in
+  {
+    engine;
+    net;
+    min_rate_bps;
+    next_id = 0;
+    active = [];
+    n_active = 0;
+    last_update = Engine.now engine;
+    generation = 0;
+    loaded = [];
+    started = 0;
+    completed = 0;
+    rejected = 0;
+    offered_bytes = 0.0;
+    delivered_bytes = 0.0;
+    rejected_bytes = 0.0;
+    on_complete;
+    metrics;
+  }
+
+let with_metrics t f = match t.metrics with None -> () | Some m -> f m
+
+(* Advance every active flow by the time since the last allocation change
+   at its current rate. Rates are constant between recomputes, so this is
+   exact fluid integration, not an approximation. *)
+let elapse t =
+  let now = Engine.now t.engine in
+  let dt = now -. t.last_update in
+  if dt > 0.0 then
+    List.iter
+      (fun f -> f.remaining <- Float.max 0.0 (f.remaining -. (f.rate *. dt)))
+      t.active;
+  t.last_update <- now
+
+(* Max-min fair share by progressive filling. Directed links are keyed
+   (link, from) and processed in ascending key order; each round freezes
+   the flows of the link with the smallest fair share. O(L^2 + L*F) per
+   recompute — flows are bulk background load, deliberately off the
+   per-packet hot path. *)
+module LMap = Map.Make (struct
+  type t = Net.link_id * Net.node
+
+  let compare = compare
+end)
+
+let allocate t =
+  List.iter (fun f -> f.frozen <- false) t.active;
+  (* Directed links in use → the flows crossing them, keyed and iterated
+     in ascending (link, from) order. Flow lists keep arrival (id) order. *)
+  let usage =
+    List.fold_left
+      (fun acc f ->
+        Array.fold_left
+          (fun acc h ->
+            LMap.update (h.link, h.from)
+              (fun prev -> Some (f :: Option.value prev ~default:[]))
+              acc)
+          acc f.hops)
+      LMap.empty t.active
+  in
+  let links =
+    List.map
+      (fun ((link, from), flows) ->
+        let cap =
+          match Net.capacity t.net link with
+          | Some (bps, _) -> bps
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Flow: link %d crossed by a flow has no capacity armed" link)
+        in
+        ((link, from), cap, List.rev flows))
+      (LMap.bindings usage)
+  in
+  (* Progressive filling: each round the link with the smallest fair share
+     over its unfrozen flows (ties to the smallest key, by iteration
+     order) freezes those flows at that share. *)
+  let remaining = ref links in
+  let continue = ref true in
+  while !continue do
+    remaining :=
+      List.filter
+        (fun (_, _, flows) -> List.exists (fun f -> not f.frozen) flows)
+        !remaining;
+    match !remaining with
+    | [] -> continue := false
+    | live ->
+        let best = ref None in
+        List.iter
+          (fun (_key, cap, flows) ->
+            let frozen_load, unfrozen =
+              List.fold_left
+                (fun (load, n) f -> if f.frozen then (load +. f.rate, n) else (load, n + 1))
+                (0.0, 0) flows
+            in
+            if unfrozen > 0 then begin
+              let share = Float.max 0.0 (cap -. frozen_load) /. float_of_int unfrozen in
+              match !best with
+              | Some (s, _) when s <= share -> ()
+              | _ -> best := Some (share, flows)
+            end)
+          live;
+        (match !best with
+        | None -> continue := false
+        | Some (share, flows) ->
+            List.iter
+              (fun f ->
+                if not f.frozen then begin
+                  f.frozen <- true;
+                  f.rate <- share
+                end)
+              flows)
+  done;
+  (* Any flow crossing no armed link at all (impossible today: hops are
+     validated at offer) would stay unfrozen; pin it to zero rate. *)
+  List.iter (fun f -> if not f.frozen then f.rate <- 0.0) t.active;
+  (* Push the per-directed-link sums into the fabric, releasing links that
+     no longer carry load. *)
+  List.iter (fun (link, from) -> Net.set_fluid_load t.net link ~from ~bps:0.0) t.loaded;
+  let sums =
+    List.fold_left
+      (fun acc f ->
+        Array.fold_left
+          (fun acc h ->
+            LMap.update (h.link, h.from)
+              (fun prev -> Some (f.rate +. Option.value prev ~default:0.0))
+              acc)
+          acc f.hops)
+      LMap.empty t.active
+  in
+  LMap.iter (fun (link, from) bps -> Net.set_fluid_load t.net link ~from ~bps) sums;
+  t.loaded <- List.map fst (LMap.bindings sums);
+  with_metrics t (fun m -> M.inc m.m_recomputes)
+
+let rec finish_due t =
+  let now = Engine.now t.engine in
+  let due, still = List.partition (fun f -> f.remaining <= eps_bits) t.active in
+  t.active <- still;
+  t.n_active <- List.length still;
+  List.iter
+    (fun f ->
+      t.completed <- t.completed + 1;
+      t.delivered_bytes <- t.delivered_bytes +. f.size;
+      let fct = now -. f.t_start in
+      with_metrics t (fun m ->
+          M.inc m.m_completed;
+          M.add m.m_delivered (int_of_float f.size);
+          M.record m.m_fct fct;
+          M.set m.m_active (float_of_int t.n_active));
+      match t.on_complete with None -> () | Some cb -> cb ~fct_s:fct ~size_bytes:f.size)
+    due
+
+and schedule_next t =
+  match t.active with
+  | [] -> ()
+  | flows ->
+      let soonest =
+        List.fold_left
+          (fun acc f ->
+            if f.rate <= 0.0 then acc
+            else
+              let eta = f.remaining /. f.rate in
+              match acc with Some best when best <= eta -> acc | _ -> Some eta)
+          None flows
+      in
+      (match soonest with
+      | None -> ()
+      | Some eta ->
+          let gen = t.generation in
+          let now = Engine.now t.engine in
+          Engine.schedule_at t.engine ~time:(now +. eta) (fun () ->
+              if gen = t.generation then recompute t))
+
+and recompute t =
+  t.generation <- t.generation + 1;
+  elapse t;
+  finish_due t;
+  allocate t;
+  schedule_next t
+
+(* Cheap deterministic admission bound: the new flow's share on each hop
+   can be no better than capacity over the flows already there plus
+   itself. Rejecting below [min_rate_bps] models access-queue overflow for
+   background load — the fluid analogue of a tail drop. *)
+let admissible t hops =
+  t.min_rate_bps <= 0.0
+  || Array.for_all
+       (fun h ->
+         match Net.capacity t.net h.link with
+         | None -> false
+         | Some (bps, _) ->
+             let crossing =
+               List.fold_left
+                 (fun acc f ->
+                   if Array.exists (fun h' -> h'.link = h.link && h'.from = h.from) f.hops then
+                     acc + 1
+                   else acc)
+                 0 t.active
+             in
+             bps /. float_of_int (crossing + 1) >= t.min_rate_bps)
+       hops
+
+let offer t ~hops ~size_bytes =
+  if not (Float.is_finite size_bytes) || size_bytes <= 0.0 then
+    invalid_arg (Printf.sprintf "Flow.offer: size_bytes must be finite and > 0 (got %g)" size_bytes);
+  if hops = [] then invalid_arg "Flow.offer: empty hop list";
+  let hops = Array.of_list hops in
+  Array.iter
+    (fun h ->
+      match Net.capacity t.net h.link with
+      | Some _ -> ()
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Flow.offer: link %d has no capacity armed (call Net.set_capacity)"
+               h.link))
+    hops;
+  t.offered_bytes <- t.offered_bytes +. size_bytes;
+  with_metrics t (fun m -> M.add m.m_offered (int_of_float size_bytes));
+  if not (admissible t hops) then begin
+    t.rejected <- t.rejected + 1;
+    t.rejected_bytes <- t.rejected_bytes +. size_bytes;
+    with_metrics t (fun m -> M.inc m.m_rejected);
+    `Rejected
+  end
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let f =
+      {
+        id;
+        hops;
+        size = size_bytes;
+        t_start = Engine.now t.engine;
+        remaining = size_bytes *. 8.0;
+        rate = 0.0;
+        frozen = false;
+      }
+    in
+    (* Elapse the others before the population changes, then append in id
+       order and reallocate. *)
+    elapse t;
+    t.active <- t.active @ [ f ];
+    t.n_active <- t.n_active + 1;
+    t.started <- t.started + 1;
+    with_metrics t (fun m ->
+        M.inc m.m_started;
+        M.set m.m_active (float_of_int t.n_active));
+    t.generation <- t.generation + 1;
+    allocate t;
+    schedule_next t;
+    `Started id
+  end
+
+let reroute t id ~hops =
+  if hops = [] then invalid_arg "Flow.reroute: empty hop list";
+  let hops = Array.of_list hops in
+  Array.iter
+    (fun h ->
+      match Net.capacity t.net h.link with
+      | Some _ -> ()
+      | None -> invalid_arg (Printf.sprintf "Flow.reroute: link %d has no capacity armed" h.link))
+    hops;
+  match List.find_opt (fun f -> f.id = id) t.active with
+  | None -> invalid_arg (Printf.sprintf "Flow.reroute: no active flow %d" id)
+  | Some f ->
+      elapse t;
+      f.hops <- hops;
+      t.generation <- t.generation + 1;
+      allocate t;
+      schedule_next t
+
+let recompute_now t = recompute t
+let active_count t = t.n_active
+let rate t id = Option.map (fun f -> f.rate) (List.find_opt (fun f -> f.id = id) t.active)
+
+let stats t =
+  {
+    started = t.started;
+    completed = t.completed;
+    rejected = t.rejected;
+    offered_bytes = t.offered_bytes;
+    delivered_bytes = t.delivered_bytes;
+    rejected_bytes = t.rejected_bytes;
+  }

@@ -54,7 +54,7 @@ let test_all_figures_covered () =
     [
       "table1"; "fig3"; "fig4"; "table2"; "app_effort"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
       "fig10a"; "fig10b"; "fig10c"; "survey"; "isd_evolution"; "recovery"; "pathmon"; "scaling";
-      "containment";
+      "load"; "containment";
     ]
     Harness.Evidence.ids
 

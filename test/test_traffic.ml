@@ -1,0 +1,533 @@
+(* The traffic engine's contracts: capacity/queueing knob validation on
+   Netsim.Net, max-min fair shares never oversubscribing a link (qcheck),
+   byte conservation (offered = delivered + rejected, qcheck), the
+   bandwidth-aware pathmon surface, and the two determinism pins — the
+   load figure is byte-identical across runs at a fixed seed, and
+   attaching traffic perturbs no fabric workload draw. *)
+
+open Netsim
+module Rng = Scion_util.Rng
+module Flow = Traffic.Flow
+module Workload = Traffic.Workload
+
+let mk_net () = Net.create ~rng:(Rng.of_label 7L "test.traffic.fabric")
+
+(* A capacity-armed chain n0 - n1 - ... - n[k]; returns (net, nodes, links). *)
+let chain ?(cap = 1.0e6) ?(queue = 16) k =
+  let net = mk_net () in
+  let nodes = Array.init (k + 1) (fun i -> Net.add_node net (Printf.sprintf "n%d" i)) in
+  let links =
+    Array.init k (fun i ->
+        let id = Net.add_link net nodes.(i) nodes.(i + 1) Net.default_params in
+        Net.set_capacity net id ~bps:cap ~queue_pkts:queue;
+        id)
+  in
+  (net, nodes, links)
+
+let hops_of links nodes first len =
+  List.init len (fun k -> { Flow.link = links.(first + k); from = nodes.(first + k) })
+
+(* --- Net capacity knob validation ------------------------------------- *)
+
+let test_capacity_validation () =
+  let net = mk_net () in
+  let a = Net.add_node net "a" and b = Net.add_node net "b" in
+  let l = Net.add_link net a b Net.default_params in
+  Alcotest.(check (option (pair (float 1e-9) int))) "unarmed" None (Net.capacity net l);
+  List.iter
+    (fun bps ->
+      Alcotest.check_raises "bad bps"
+        (Invalid_argument
+           (Printf.sprintf "Net.set_capacity: bps must be finite and > 0 (got %g)" bps))
+        (fun () -> Net.set_capacity net l ~bps ~queue_pkts:4))
+    [ 0.0; -1.0; Float.nan; Float.infinity ];
+  Alcotest.check_raises "bad queue"
+    (Invalid_argument "Net.set_capacity: queue_pkts must be >= 1 (got 0)") (fun () ->
+      Net.set_capacity net l ~bps:1e6 ~queue_pkts:0);
+  Net.set_capacity net l ~bps:2e6 ~queue_pkts:8;
+  Alcotest.(check (option (pair (float 1e-9) int))) "armed" (Some (2e6, 8)) (Net.capacity net l);
+  Alcotest.(check (float 1e-9)) "no fluid load yet" 0.0 (Net.fluid_load net l ~from:a);
+  Alcotest.check_raises "negative fluid load"
+    (Invalid_argument "Net.set_fluid_load: bps must be finite and >= 0 (got -1)") (fun () ->
+      Net.set_fluid_load net l ~from:a ~bps:(-1.0));
+  Net.set_fluid_load net l ~from:a ~bps:1e6;
+  Alcotest.(check (float 1e-9)) "fluid load set" 1e6 (Net.fluid_load net l ~from:a);
+  Alcotest.(check (float 1e-9)) "utilisation" 0.5 (Net.utilisation net l ~from:a);
+  Alcotest.(check (float 1e-9)) "reverse direction untouched" 0.0 (Net.fluid_load net l ~from:b);
+  Alcotest.(check int) "empty queue" 0 (Net.queue_depth net l ~from:a);
+  Net.clear_capacity net l;
+  Alcotest.(check (option (pair (float 1e-9) int))) "cleared" None (Net.capacity net l);
+  Alcotest.(check (float 1e-9)) "fluid gone with the arm" 0.0 (Net.fluid_load net l ~from:a);
+  Alcotest.check_raises "fluid load needs an armed link"
+    (Invalid_argument "Net.set_fluid_load: link has no capacity armed (call set_capacity first)")
+    (fun () -> Net.set_fluid_load net l ~from:a ~bps:1.0)
+
+let test_utilisation_saturates () =
+  let net, nodes, links = chain ~cap:1e6 1 in
+  Net.set_fluid_load net links.(0) ~from:nodes.(0) ~bps:5e6;
+  Alcotest.(check (float 1e-9)) "clamped at 1" 1.0 (Net.utilisation net links.(0) ~from:nodes.(0))
+
+(* --- Packet-level congestion (hybrid fidelity) ------------------------- *)
+
+let test_fluid_load_slows_transmit () =
+  let delivery fluid =
+    let net, nodes, links = chain ~cap:1e6 1 in
+    if fluid > 0.0 then Net.set_fluid_load net links.(0) ~from:nodes.(0) ~bps:fluid;
+    let engine = Engine.create () in
+    let at = ref Float.nan in
+    Net.transmit net engine links.(0) ~from:nodes.(0) ~size_bytes:10_000
+      ~on_arrival:(fun () -> at := Engine.now engine);
+    Engine.run engine;
+    !at
+  in
+  let free = delivery 0.0 and loaded = delivery 0.9e6 in
+  Alcotest.(check bool) "free link delivers" true (Float.is_finite free);
+  (* 80 kbit over 1 Mbps free vs the 100 kbps residual: ~10x slower. *)
+  Alcotest.(check bool) "background load slows the packet path" true (loaded > free *. 4.0)
+
+let test_queue_full_drops () =
+  let net, nodes, links = chain ~cap:1e6 ~queue:4 1 in
+  (* Saturated: serialisation runs at the 1% residual floor, so a
+     same-instant burst larger than the FIFO must tail-drop. *)
+  Net.set_fluid_load net links.(0) ~from:nodes.(0) ~bps:1e6;
+  let engine = Engine.create () in
+  let drops = ref 0 and delivered = ref 0 in
+  Net.add_monitor net (function
+    | Net.Drop { cause = Net.Queue_full; _ } -> incr drops
+    | Net.Tx _ | Net.Rx _ | Net.Drop _ -> ());
+  for _ = 1 to 10 do
+    Net.transmit net engine links.(0) ~from:nodes.(0) ~size_bytes:1500 ~on_arrival:(fun () ->
+        incr delivered)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "FIFO admits its depth" 4 !delivered;
+  Alcotest.(check int) "the rest tail-drop" 6 !drops;
+  Alcotest.(check int) "queue drained" 0 (Net.queue_depth net links.(0) ~from:nodes.(0))
+
+(* --- Fluid flow engine ------------------------------------------------- *)
+
+let test_single_flow_full_capacity () =
+  let net, nodes, links = chain ~cap:1e6 2 in
+  let engine = Engine.create () in
+  let fct = ref Float.nan in
+  let flows =
+    Flow.create ~on_complete:(fun ~fct_s ~size_bytes:_ -> fct := fct_s) ~engine net
+  in
+  (match Flow.offer flows ~hops:(hops_of links nodes 0 2) ~size_bytes:125_000.0 with
+  | `Started id -> Alcotest.(check (option (float 1.0))) "full rate" (Some 1e6) (Flow.rate flows id)
+  | `Rejected -> Alcotest.fail "single flow rejected");
+  Engine.run engine;
+  (* 1 Mbit over 1 Mbps: exactly one second. *)
+  Alcotest.(check (float 1e-6)) "fct" 1.0 !fct;
+  Alcotest.(check int) "drained" 0 (Flow.active_count flows)
+
+let test_fair_share_split () =
+  let net, nodes, links = chain ~cap:1e6 1 in
+  let engine = Engine.create () in
+  let flows = Flow.create ~engine net in
+  let id1 =
+    match Flow.offer flows ~hops:(hops_of links nodes 0 1) ~size_bytes:1e9 with
+    | `Started id -> id
+    | `Rejected -> Alcotest.fail "flow 1 rejected"
+  in
+  (match Flow.offer flows ~hops:(hops_of links nodes 0 1) ~size_bytes:1e9 with
+  | `Started _ -> ()
+  | `Rejected -> Alcotest.fail "flow 2 rejected");
+  Alcotest.(check (option (float 1.0))) "half each" (Some 5e5) (Flow.rate flows id1);
+  Alcotest.(check (float 1.0)) "link carries the sum" 1e6
+    (Net.fluid_load net links.(0) ~from:nodes.(0))
+
+let test_min_rate_rejects () =
+  let net, nodes, links = chain ~cap:1e6 1 in
+  let engine = Engine.create () in
+  let flows = Flow.create ~min_rate_bps:300_000.0 ~engine net in
+  let offer () = Flow.offer flows ~hops:(hops_of links nodes 0 1) ~size_bytes:1e9 in
+  (match (offer (), offer (), offer ()) with
+  | `Started _, `Started _, `Started _ -> ()
+  | _ -> Alcotest.fail "three flows fit above the floor");
+  (match offer () with
+  | `Rejected -> ()
+  | `Started _ -> Alcotest.fail "fourth flow would drop the share below the floor");
+  let s = Flow.stats flows in
+  Alcotest.(check int) "rejected counted" 1 s.Flow.rejected;
+  Alcotest.(check (float 1e-3)) "rejected bytes counted" 1e9 s.Flow.rejected_bytes
+
+let test_offer_validation () =
+  let net, nodes, links = chain 1 in
+  let engine = Engine.create () in
+  let flows = Flow.create ~engine net in
+  Alcotest.check_raises "empty hops" (Invalid_argument "Flow.offer: empty hop list") (fun () ->
+      ignore (Flow.offer flows ~hops:[] ~size_bytes:1.0));
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Flow.offer: size_bytes must be finite and > 0 (got 0)") (fun () ->
+      ignore (Flow.offer flows ~hops:(hops_of links nodes 0 1) ~size_bytes:0.0));
+  let unarmed = Net.add_link net nodes.(0) nodes.(1) Net.default_params in
+  Alcotest.check_raises "unarmed hop"
+    (Invalid_argument "Flow.offer: link 1 has no capacity armed (call Net.set_capacity)")
+    (fun () ->
+      ignore
+        (Flow.offer flows ~hops:[ { Flow.link = unarmed; from = nodes.(0) } ] ~size_bytes:1.0))
+
+(* qcheck: random flow populations over a random chain — no directed link
+   ever carries more than its capacity, and once the engine drains, every
+   offered byte is accounted as delivered or rejected. *)
+let qcheck_fair_share_and_conservation =
+  QCheck.Test.make ~name:"fair shares never oversubscribe; bytes conserve" ~count:50
+    QCheck.(
+      triple (int_bound 1000)
+        (int_range 2 6) (* chain length *)
+        (small_list (pair (int_range 0 5) (int_range 1 400))))
+    (fun (seed, len, specs) ->
+      let net, nodes, links = chain ~cap:1e6 len in
+      let engine = Engine.create () in
+      let flows = Flow.create ~min_rate_bps:50_000.0 ~engine net in
+      let rng = Rng.of_label (Int64.of_int seed) "test.traffic.qcheck" in
+      List.iter
+        (fun (first, kb) ->
+          let first = min first (len - 1) in
+          let span = 1 + Rng.int rng (len - first) in
+          ignore
+            (Flow.offer flows
+               ~hops:(hops_of links nodes first span)
+               ~size_bytes:(float_of_int kb *. 1000.0)))
+        specs;
+      (* Check the invariant at its tightest point: every admission done,
+         no completion yet. *)
+      Array.iteri
+        (fun i l ->
+          let load = Net.fluid_load net l ~from:nodes.(i) in
+          if load > 1e6 +. 1.0 then
+            QCheck.Test.fail_reportf "link %d oversubscribed: %.1f bps" i load)
+        links;
+      Engine.run engine;
+      let s = Flow.stats flows in
+      if Flow.active_count flows <> 0 then QCheck.Test.fail_report "flows left undrained";
+      let balance = s.Flow.offered_bytes -. (s.Flow.delivered_bytes +. s.Flow.rejected_bytes) in
+      if Float.abs balance > 1e-3 *. Float.max 1.0 s.Flow.offered_bytes then
+        QCheck.Test.fail_reportf
+          "conservation violated: offered %.1f <> delivered %.1f + rejected %.1f"
+          s.Flow.offered_bytes s.Flow.delivered_bytes s.Flow.rejected_bytes;
+      true)
+
+(* --- Workload generator ------------------------------------------------ *)
+
+let pops n =
+  List.init n (fun i ->
+      {
+        Workload.name = Printf.sprintf "pop%d" i;
+        weight = 1.0 +. float_of_int (i mod 3);
+        phase_h = float_of_int (i * 3);
+      })
+
+let test_workload_validation () =
+  let engine = Engine.create () in
+  let rng = Rng.of_label 1L "traffic" in
+  let sink ~now:_ ~src:_ ~dst:_ ~size_bytes:_ = () in
+  Alcotest.check_raises "one pop" (Invalid_argument "Workload.attach: need at least two PoPs")
+    (fun () -> ignore (Workload.attach ~engine ~rng ~pops:(pops 1) ~duration_s:1.0 ~sink ()));
+  Alcotest.check_raises "bad alpha"
+    (Invalid_argument "Workload: pareto_alpha must be finite and > 0 (got 0)") (fun () ->
+      ignore (Workload.make_config ~pareto_alpha:0.0 ()));
+  Alcotest.check_raises "cap below scale"
+    (Invalid_argument "Workload: max_flow_bytes must be >= pareto_xm_bytes") (fun () ->
+      ignore (Workload.make_config ~pareto_xm_bytes:1e6 ~max_flow_bytes:1e3 ()))
+
+let test_workload_statistics () =
+  let engine = Engine.create () in
+  let rng = Rng.of_label 42L "traffic" in
+  let config = Workload.make_config ~base_rate_per_s:20.0 ~day_s:600.0 () in
+  let n = ref 0 and bad_size = ref 0 and self_pair = ref 0 in
+  let wl =
+    Workload.attach ~engine ~rng ~config ~pops:(pops 6) ~duration_s:60.0
+      ~sink:(fun ~now:_ ~src ~dst ~size_bytes ->
+        incr n;
+        if
+          size_bytes < config.Workload.pareto_xm_bytes
+          || size_bytes > config.Workload.max_flow_bytes
+        then incr bad_size;
+        if String.equal src.Workload.name dst.Workload.name then incr self_pair)
+      ()
+  in
+  Engine.run engine;
+  Alcotest.(check int) "sink saw every arrival" !n (Workload.arrivals wl);
+  Alcotest.(check bool) "thinning examined at least as many candidates" true
+    (Workload.candidates wl >= Workload.arrivals wl);
+  (* 20/s over 60 s, modulated by the mild diurnal curve — a loose band
+     around the 1200 nominal arrivals. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "arrival volume plausible (%d)" !n)
+    true
+    (!n > 200 && !n < 2400);
+  Alcotest.(check int) "sizes within [xm, cap]" 0 !bad_size;
+  Alcotest.(check int) "no self pairs" 0 !self_pair
+
+let test_workload_replay_identical () =
+  (* Re-deriving the stream replays byte-identical arrivals regardless of
+     where the engine clock stands — the property the load figure's
+     arm-pairing rests on. *)
+  let record ~warmup =
+    let engine = Engine.create () in
+    if warmup > 0.0 then begin
+      Engine.schedule_at engine ~time:warmup (fun () -> ());
+      Engine.run engine
+    end;
+    let rng = Rng.of_label 7L "traffic" in
+    let log = ref [] in
+    let _wl =
+      Workload.attach ~engine ~rng ~pops:(pops 5) ~duration_s:30.0
+        ~sink:(fun ~now ~src ~dst ~size_bytes ->
+          log := (now -. warmup, src.Workload.name, dst.Workload.name, size_bytes) :: !log)
+        ()
+    in
+    Engine.run engine;
+    List.rev !log
+  in
+  let a = record ~warmup:0.0 and b = record ~warmup:1234.5 in
+  Alcotest.(check int) "same arrival count" (List.length a) (List.length b);
+  List.iter2
+    (fun (t1, s1, d1, z1) (t2, s2, d2, z2) ->
+      Alcotest.(check (float 1e-9)) "same relative time" t1 t2;
+      Alcotest.(check string) "same src" s1 s2;
+      Alcotest.(check string) "same dst" d1 d2;
+      Alcotest.(check (float 1e-9)) "same size" z1 z2)
+    a b
+
+(* --- Endpoint pairs on the 29-AS mesh ----------------------------------- *)
+
+(* First measurement-point pair (in spec order) with at least [min_paths]
+   control-plane paths. *)
+let find_pair net ~min_paths =
+  let infos =
+    List.filter
+      (fun (a : Sciera.Topology.as_info) -> a.Sciera.Topology.measurement_point)
+      (Sciera.Network.topology net).Sciera.Topology.spec_ases
+  in
+  let hit =
+    List.find_map
+      (fun (a : Sciera.Topology.as_info) ->
+        List.find_map
+          (fun (b : Sciera.Topology.as_info) ->
+            let src = a.Sciera.Topology.ia and dst = b.Sciera.Topology.ia in
+            if Scion_addr.Ia.equal src dst then None
+            else if List.length (Sciera.Network.paths net ~src ~dst) >= min_paths then
+              Some (src, dst)
+            else None)
+          infos)
+      infos
+  in
+  match hit with
+  | Some pair -> pair
+  | None -> Alcotest.fail (Printf.sprintf "no measurement pair with >= %d paths" min_paths)
+
+(* --- RNG isolation ------------------------------------------------------ *)
+
+(* The determinism contract of the whole subsystem: arming capacities and
+   running a full workload + fluid-flow campaign must leave the network's
+   fabric workload stream byte-identical — traffic draws only from its
+   private stream, and fluid flows never transmit packets. *)
+let test_traffic_rng_isolation () =
+  let draws_after attach_traffic =
+    let net = Sciera.Network.create ~per_origin:4 ~verify_pcbs:false () in
+    if attach_traffic then begin
+      Sciera.Network.arm_capacities net ~bps:1.5e6 ~queue_pkts:32;
+      let engine = Engine.create () in
+      let rng = Rng.of_label 99L "traffic" in
+      let src, dst = find_pair net ~min_paths:1 in
+      let hops =
+        match Sciera.Network.paths net ~src ~dst with
+        | p :: _ -> Sciera.Network.path_hops net ~src p
+        | [] -> Alcotest.fail "no path for the isolation pair"
+      in
+      let flows = Flow.create ~engine (Sciera.Network.scion_fabric net) in
+      let wl =
+        Workload.attach ~engine ~rng ~pops:(pops 4) ~duration_s:20.0
+          ~sink:(fun ~now:_ ~src:_ ~dst:_ ~size_bytes ->
+            ignore (Flow.offer flows ~hops ~size_bytes))
+          ()
+      in
+      Engine.run engine;
+      Alcotest.(check bool) "campaign actually ran" true (Workload.arrivals wl > 0);
+      Alcotest.(check int) "campaign drained" 0 (Flow.active_count flows)
+    end;
+    let workload = Sciera.Network.rng net in
+    Array.init 64 (fun _ -> Rng.next workload)
+  in
+  let quiet = draws_after false in
+  let loaded = draws_after true in
+  Alcotest.(check (array int64)) "fabric workload stream untouched by traffic" quiet loaded
+
+(* --- The load figure ---------------------------------------------------- *)
+
+let check_cell_equal (x : Sciera.Exp_load.cell) (y : Sciera.Exp_load.cell) =
+  let open Sciera.Exp_load in
+  let exact = Alcotest.(check (float 0.0)) in
+  Alcotest.(check string) "scale" x.c_scale y.c_scale;
+  Alcotest.(check string) "arm" (arm_name x.c_arm) (arm_name y.c_arm);
+  exact "load" x.c_load y.c_load;
+  exact "offered" x.c_offered_mbps y.c_offered_mbps;
+  exact "goodput" x.c_goodput_mbps y.c_goodput_mbps;
+  exact "mean fct" x.c_mean_fct_s y.c_mean_fct_s;
+  exact "p99 fct" x.c_p99_fct_s y.c_p99_fct_s;
+  exact "reject" x.c_reject_pct y.c_reject_pct;
+  exact "fg drop" x.c_fg_drop_pct y.c_fg_drop_pct;
+  exact "fg delay" x.c_fg_delay_ms y.c_fg_delay_ms;
+  Alcotest.(check int) "arrivals" x.c_arrivals y.c_arrivals;
+  Alcotest.(check int) "completed" x.c_completed y.c_completed
+
+let test_load_deterministic () =
+  let open Sciera.Exp_load in
+  (* Byte-identical metrics across runs at a fixed seed. *)
+  let sweep () = run ~loads:[ 0.8 ] ~duration_s:5.0 ~topogen_ases:40 () in
+  let a = sweep () and b = sweep () in
+  Alcotest.(check int) "same cell count" (List.length a.cells) (List.length b.cells);
+  List.iter2 check_cell_equal a.cells b.cells;
+  Alcotest.(check (float 0.0)) "same gain" a.mp_goodput_gain b.mp_goodput_gain;
+  Alcotest.(check (float 0.0)) "same p99 ratio" a.mp_p99_fct_ratio b.mp_p99_fct_ratio;
+  (* Within one run, both arms of a scale saw the byte-identical arrival
+     sequence — the paired-comparison design. *)
+  List.iter
+    (fun (c : cell) ->
+      match
+        List.find_opt
+          (fun (d : cell) ->
+            String.equal d.c_scale c.c_scale
+            && (not (String.equal (arm_name d.c_arm) (arm_name c.c_arm)))
+            && Float.abs (d.c_load -. c.c_load) < 1e-9)
+          a.cells
+      with
+      | Some other ->
+          Alcotest.(check int) "arms share the arrival sequence" c.c_arrivals other.c_arrivals;
+          Alcotest.(check (float 0.0)) "arms share the offered bytes" c.c_offered_mbps
+            other.c_offered_mbps
+      | None -> Alcotest.fail "missing paired arm")
+    a.cells;
+  Alcotest.(check bool) "validation: empty sweep rejected" true
+    (try
+       ignore (run ~loads:[] ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Bandwidth-aware pathmon -------------------------------------------- *)
+
+let test_estimator_bandwidth () =
+  let est = Pathmon.Estimator.create () in
+  Alcotest.(check int) "no samples yet" 0 (Pathmon.Estimator.bandwidth_samples est);
+  Alcotest.(check (float 1e-9)) "zero util" 0.0 (Pathmon.Estimator.utilisation est);
+  Alcotest.check_raises "util above 1"
+    (Invalid_argument "Estimator.observe_bandwidth: utilisation must be in [0, 1] (got 1.5)")
+    (fun () -> Pathmon.Estimator.observe_bandwidth est ~utilisation:1.5 ~queue_delay_ms:0.0);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument
+       "Estimator.observe_bandwidth: queue_delay_ms must be finite and >= 0 (got -1)")
+    (fun () -> Pathmon.Estimator.observe_bandwidth est ~utilisation:0.5 ~queue_delay_ms:(-1.0));
+  Pathmon.Estimator.observe_bandwidth est ~utilisation:0.8 ~queue_delay_ms:40.0;
+  Alcotest.(check (float 1e-9)) "first sample direct" 0.8 (Pathmon.Estimator.utilisation est);
+  Alcotest.(check (float 1e-9)) "first delay direct" 40.0 (Pathmon.Estimator.queue_delay_ms est);
+  Pathmon.Estimator.observe_bandwidth est ~utilisation:0.0 ~queue_delay_ms:0.0;
+  let u = Pathmon.Estimator.utilisation est in
+  Alcotest.(check bool) "EWMA moved down but not to zero" true (u > 0.0 && u < 0.8);
+  Alcotest.(check int) "samples counted" 2 (Pathmon.Estimator.bandwidth_samples est)
+
+let test_selector_bandwidth_aware () =
+  let warm est ms =
+    for _ = 1 to 8 do
+      Pathmon.Estimator.observe est (`Rtt ms)
+    done
+  in
+  let congested = Pathmon.Estimator.create () in
+  warm congested 20.0;
+  Pathmon.Estimator.observe_bandwidth congested ~utilisation:1.0 ~queue_delay_ms:150.0;
+  let idle = Pathmon.Estimator.create () in
+  warm idle 22.0;
+  Pathmon.Estimator.observe_bandwidth idle ~utilisation:0.0 ~queue_delay_ms:0.0;
+  let hot =
+    { Pathmon.Selector.fingerprint = "hot"; static_ms = 20.0; estimator = Some congested }
+  in
+  let cool = { Pathmon.Selector.fingerprint = "idle"; static_ms = 22.0; estimator = Some idle } in
+  (* Unaware scoring ignores the congestion signal entirely. *)
+  let blind = Pathmon.Selector.default_config in
+  Alcotest.(check bool) "blind prefers the hot path" true
+    (Pathmon.Selector.score blind hot < Pathmon.Selector.score blind cool);
+  let aware = Pathmon.Selector.make_config ~bandwidth_aware:true ~bw_penalty_ms:150.0 () in
+  Alcotest.(check bool) "aware penalises the hot path" true
+    (Pathmon.Selector.score aware hot > Pathmon.Selector.score aware cool);
+  let sel =
+    Pathmon.Selector.create
+      ~config:
+        (Pathmon.Selector.make_config ~bandwidth_aware:true ~bw_penalty_ms:150.0 ~hold_ticks:1 ())
+      ()
+  in
+  let _first = Pathmon.Selector.choose sel ~candidates:[ hot; cool ] ~active:"hot" in
+  Alcotest.(check string) "choose abandons the congested path" "idle"
+    (Pathmon.Selector.choose sel ~candidates:[ hot; cool ] ~active:"hot");
+  Alcotest.check_raises "negative penalty rejected"
+    (Invalid_argument "Selector.make_config: bw_penalty_ms must be >= 0 (got -1)") (fun () ->
+      ignore (Pathmon.Selector.make_config ~bw_penalty_ms:(-1.0) ()))
+
+let test_pick_flow_path () =
+  let net = Sciera.Network.create ~per_origin:4 ~verify_pcbs:false () in
+  let src, dst = find_pair net ~min_paths:2 in
+  let paths = Sciera.Network.paths net ~src ~dst in
+  let latency_of = Sciera.Network.scion_rtt_base net in
+  let fp (p : Scion_controlplane.Combinator.fullpath) =
+    p.Scion_controlplane.Combinator.fingerprint
+  in
+  let pick headroom = Scion_endhost.Pan.pick_flow_path ~latency_of ~headroom paths in
+  let flat =
+    match pick (fun _ -> 1000.0) with
+    | Some p -> p
+    | None -> Alcotest.fail "no pick with uniform headroom"
+  in
+  (* Uniform headroom: the tie resolves to the policy's preference order. *)
+  let preferred =
+    match Scion_endhost.Pan.sort_paths Scion_endhost.Pan.default_policy ~latency_of paths with
+    | p :: _ -> p
+    | [] -> Alcotest.fail "policy admitted no path"
+  in
+  Alcotest.(check string) "tie goes to the policy-preferred path" (fp preferred) (fp flat);
+  (* Starve the chosen path of headroom: the picker must move off it. *)
+  (match pick (fun p -> if String.equal (fp p) (fp flat) then 0.0 else 1000.0) with
+  | Some p ->
+      Alcotest.(check bool) "congestion moves the pick" false (String.equal (fp p) (fp flat))
+  | None -> Alcotest.fail "no pick after starving the best path");
+  Alcotest.(check bool) "empty candidates yield none" true
+    (match Scion_endhost.Pan.pick_flow_path ~latency_of ~headroom:(fun _ -> 1.0) [] with
+    | None -> true
+    | Some _ -> false)
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "net-capacity",
+        [
+          Alcotest.test_case "knob validation" `Quick test_capacity_validation;
+          Alcotest.test_case "utilisation clamps" `Quick test_utilisation_saturates;
+          Alcotest.test_case "fluid load slows packets" `Quick test_fluid_load_slows_transmit;
+          Alcotest.test_case "queue full drops" `Quick test_queue_full_drops;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "single flow full capacity" `Quick test_single_flow_full_capacity;
+          Alcotest.test_case "fair share split" `Quick test_fair_share_split;
+          Alcotest.test_case "admission floor rejects" `Quick test_min_rate_rejects;
+          Alcotest.test_case "offer validation" `Quick test_offer_validation;
+          QCheck_alcotest.to_alcotest qcheck_fair_share_and_conservation;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+          Alcotest.test_case "statistics" `Quick test_workload_statistics;
+          Alcotest.test_case "replay identical" `Quick test_workload_replay_identical;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "traffic rng isolation" `Slow test_traffic_rng_isolation;
+          Alcotest.test_case "load figure deterministic" `Slow test_load_deterministic;
+        ] );
+      ( "pathmon-bandwidth",
+        [
+          Alcotest.test_case "estimator bandwidth signal" `Quick test_estimator_bandwidth;
+          Alcotest.test_case "selector bandwidth aware" `Quick test_selector_bandwidth_aware;
+          Alcotest.test_case "pan pick_flow_path" `Quick test_pick_flow_path;
+        ] );
+    ]
